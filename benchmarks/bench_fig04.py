@@ -1,0 +1,36 @@
+"""Figure 4: thread-based vs asynchronous drivers per datastore family.
+
+Paper shape: every thread-based driver collapses at high workload
+concurrency; the Type-1 "asynchronous" DynamoDB/HBase drivers collapse
+with them; MongoDB's Type-2b asynchronous driver keeps its throughput.
+"""
+
+
+def test_fig04_driver_architectures(exhibit):
+    result = exhibit("fig04")
+    grid = result.data["concurrency"]
+    top = len(grid) - 1
+
+    for family in ("dynamodb", "hbase", "mongodb"):
+        series = result.data[family]
+        thread = series[f"{family}-thread"]
+        # Thread-based drivers degrade well below their peak.
+        assert thread[top] < 0.85 * max(thread), (
+            f"{family}-thread did not collapse: {thread}")
+
+    # Type-1 async drivers share the thread-based collapse...
+    for family in ("dynamodb", "hbase"):
+        async_series = result.data[family][f"{family}-async"]
+        assert async_series[top] < 0.92 * max(async_series), (
+            f"{family}-async should degrade like its thread-based "
+            f"counterpart: {async_series}")
+
+    # ...while the Type-2b MongoDB driver does not.
+    mongo_async = result.data["mongodb"]["mongodb-async"]
+    assert mongo_async[top] > 0.85 * max(mongo_async), (
+        f"mongodb-async should sustain throughput: {mongo_async}")
+
+    # And at top concurrency the async MongoDB driver clearly beats the
+    # thread-based one (paper: +140%; we require a solid margin).
+    mongo_thread = result.data["mongodb"]["mongodb-thread"]
+    assert mongo_async[top] > 1.2 * mongo_thread[top]

@@ -1,0 +1,25 @@
+"""Figure 7: AIO's normalized throughput decays as fanout grows (20 kB).
+
+Paper shape: at fanout 1 the two MongoDB asynchronous drivers are
+nearly equal; by fanout 20 AIOBackend has fallen well behind
+NettyBackend (paper: -36%), because more concurrent fanout responses
+mean more on-demand workers and more multithreading overhead.
+"""
+
+
+def test_fig07_aio_fanout_degradation(exhibit):
+    result = exhibit("fig07")
+    fanouts = result.data["fanout"]
+    norm_aio = result.data["normalized"]["AIOBackend"]
+
+    at1 = norm_aio[fanouts.index(1)]
+    at20 = norm_aio[fanouts.index(20)]
+
+    # Near-parity at fanout 1.
+    assert at1 > 0.9, f"AIO should match Netty at fanout 1: {norm_aio}"
+    # Clear degradation by fanout 20.
+    assert at20 < at1, f"AIO should degrade with fanout: {norm_aio}"
+    assert at20 < 0.97
+
+    # Monotone-ish decay across the sweep (allow small wiggle).
+    assert norm_aio[-1] <= norm_aio[0] + 0.05

@@ -1,0 +1,24 @@
+"""Figure 9: concurrently-running-thread timelines at 20 kB.
+
+Paper shape: NettyBackend holds a flat ~3 running threads (its static
+reactor allocation) while AIOBackend's count fluctuates strongly over
+time as the on-demand pool scales with the fanout-response load.
+"""
+
+
+def test_fig09_thread_dynamics(exhibit):
+    result = exhibit("fig09")
+    netty = result.data["stats"]["NettyBackend"]
+    aio = result.data["stats"]["AIOBackend"]
+
+    # Netty: small, flat thread population.
+    assert netty["mean"] < 4.0
+    assert netty["spread"] <= 4.0
+
+    # AIO: larger and visibly fluctuating population.
+    assert aio["mean"] > netty["mean"]
+    assert aio["spread"] > 2 * max(netty["spread"], 1.0)
+    assert aio["max"] > 6
+
+    # Both timelines actually sampled.
+    assert len(result.data["samples"]["AIOBackend"]) > 20

@@ -1,0 +1,30 @@
+"""Figure 13: DoubleFaceNetty vs the asynchronous baselines.
+
+Paper shape: DoubleFaceNetty achieves the highest throughput at every
+fanout factor and both response sizes (paper: +20% over NettyBackend at
+fanout 1 / 0.1 kB, +25% over AIOBackend at fanout 20 / 0.1 kB, +34%
+over AIOBackend at fanout 20 / 20 kB).
+"""
+
+
+def test_fig13_doubleface_wins_everywhere(exhibit):
+    result = exhibit("fig13")
+    fanouts = result.data["fanout"]
+
+    for size_label in ("0.1kB", "20kB"):
+        norm = result.data[size_label]["normalized"]
+        for baseline in ("NettyBackend", "AIOBackend"):
+            for i, fanout in enumerate(fanouts):
+                assert norm[baseline][i] <= 1.03, (
+                    f"{baseline} beat DoubleFace at fanout {fanout} "
+                    f"({size_label}): {norm[baseline]}")
+
+    # The margins are material, not noise: at the largest fanout of the
+    # 20 kB case, DoubleFace leads AIO by a double-digit margin.
+    big = result.data["20kB"]["normalized"]["AIOBackend"]
+    assert big[-1] < 0.92, f"expected >8% win over AIO at 20kB: {big}"
+
+    # And at 0.1 kB DoubleFace leads Netty at fanout 1 (the paper's
+    # +20% case).
+    small = result.data["0.1kB"]["normalized"]["NettyBackend"]
+    assert small[0] < 0.97, f"expected a win over Netty at fanout 1: {small}"

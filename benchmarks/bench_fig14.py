@@ -1,0 +1,28 @@
+"""Figure 14: CPU utilisation under the RUBBoS open workload (fanout 20).
+
+Paper shape: at every user level DoubleFaceNetty consumes the least
+CPU; AIOBackend the most (its pool overheads are exaggerated at 20 kB
+responses), with NettyBackend in between.
+"""
+
+
+def test_fig14_cpu_overhead(exhibit):
+    result = exhibit("fig14")
+
+    for size_label in ("0.1kB", "20kB"):
+        series = result.data[size_label]["cpu_util"]
+        users = result.data[size_label]["users"]
+        top = len(users) - 1
+        df = series["DoubleFaceNetty"][top]
+        netty = series["NettyBackend"][top]
+        aio = series["AIOBackend"][top]
+        # DoubleFace burns the least CPU at the highest load level.
+        assert df <= netty + 1.0, (
+            f"{size_label}: DF {df}% should be <= Netty {netty}%")
+        assert df <= aio + 1.0, (
+            f"{size_label}: DF {df}% should be <= AIO {aio}%")
+
+    # At 20 kB the AIO overhead gap is pronounced below saturation
+    # (paper: 30% less CPU for DoubleFace at 300 users).
+    big = result.data["20kB"]["cpu_util"]
+    assert big["AIOBackend"][0] > big["DoubleFaceNetty"][0] + 3.0

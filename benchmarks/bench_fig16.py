@@ -1,0 +1,23 @@
+"""Figure 16: the scheduler's robustness on large (10 GB) shards.
+
+Paper shape: with 10x larger shards (datastore responses slow from
+0.12 ms to 0.18 ms on average), DoubleFaceNetty with scheduling still
+has the lowest tail latency of the four servers.
+"""
+
+
+def test_fig16_large_shards(exhibit):
+    result = exhibit("fig16")
+    sched = result.data["w schedule"]
+    fifo = result.data["w/o schedule"]
+    aio = result.data["AIOBackend"]
+    netty = result.data["NettyBackend"]
+
+    # The architecture ordering survives the slower datastore.
+    assert aio["p99"] > 1.5 * sched["p99"]
+    assert netty["p99"] > 1.5 * sched["p99"]
+    assert sched["p95"] <= 1.15 * fifo["p95"]
+
+    # Equal-throughput comparison still holds.
+    tputs = [d["throughput"] for d in (sched, fifo, aio, netty)]
+    assert max(tputs) < 1.25 * min(tputs)

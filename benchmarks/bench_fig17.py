@@ -1,0 +1,27 @@
+"""Figure 17: tail latency on the DBLP dataset (30 kB tuples).
+
+Paper shape: DoubleFaceNetty with scheduling still leads, the gain of
+the scheduler itself shrinks (the heavy 30 kB responses dwarf the
+reordering effect), and AIOBackend's tail falls *behind* NettyBackend's
+— the large responses re-awaken its multithreading overhead.
+"""
+
+
+def test_fig17_dblp(exhibit):
+    result = exhibit("fig17")
+    sched = result.data["w schedule"]
+    fifo = result.data["w/o schedule"]
+    aio = result.data["AIOBackend"]
+    netty = result.data["NettyBackend"]
+
+    # DoubleFace far ahead of both baselines.
+    assert aio["p99"] > 1.5 * sched["p99"]
+    assert netty["p99"] > 1.5 * sched["p99"]
+
+    # The size-driven inversion: AIO's tail is now worse than Netty's.
+    assert aio["p99"] > netty["p99"], (
+        f"AIO p99 {aio['p99']:.3f}s should exceed Netty's "
+        f"{netty['p99']:.3f}s on 30kB tuples")
+
+    # Scheduler gain compressed but not a regression at the median.
+    assert sched["p50"] <= 1.10 * fifo["p50"]

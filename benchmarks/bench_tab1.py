@@ -1,0 +1,35 @@
+"""Table 1: multithreading overhead breakdown at 20 kB responses.
+
+Paper shape: thread-based runs the most concurrent threads and the most
+context switches with the highest lock CPU; AIO sits in between (and is
+the only server paying thread-initiation CPU, from its on-demand pool);
+Netty runs a flat, tiny thread count.
+"""
+
+
+def test_tab1_multithreading_overhead(exhibit):
+    result = exhibit("tab1")
+    aio = result.data["AIOBackend"]
+    netty = result.data["NettyBackend"]
+    thread = result.data["Threadbased"]
+
+    # Concurrent running threads: thread-based >> AIO >> Netty (~3).
+    assert thread["running_threads"] > aio["running_threads"]
+    assert aio["running_threads"] > 2 * netty["running_threads"]
+    assert netty["running_threads"] < 4.0
+
+    # Context switches: both pool-based designs far above Netty.
+    assert thread["ctx_per_sec"] > 5 * netty["ctx_per_sec"] or \
+        thread["ctx_per_sec"] > netty["ctx_per_sec"]
+    assert aio["ctx_per_sec"] > netty["ctx_per_sec"]
+
+    # Thread-initiation CPU: unique to the on-demand pool.
+    assert aio["thread_init_share"] > 0.002
+    assert netty["thread_init_share"] == 0.0
+    assert thread["thread_init_share"] == 0.0
+
+    # Lock (futex) CPU: the blocking sync path pays it, Netty does not.
+    assert thread["lock_share"] >= netty["lock_share"]
+
+    # Throughput order matches Figure 5(a): Netty > AIO > thread-based.
+    assert netty["throughput"] > aio["throughput"] > thread["throughput"]

@@ -1,0 +1,30 @@
+"""Table 3: NettyBackend's sensitivity to the backend-reactor count.
+
+Paper shape: the default TwoCase beats both OneCase (single backend
+reactor saturated: many events per backend select, frontend spinning)
+and FourCase (four under-loaded backend reactors spinning: very few
+events per backend select) — the imbalanced-workload problem.
+"""
+
+
+def test_tab3_reactor_imbalance(exhibit):
+    result = exhibit("tab3")
+    one = result.data["OneCase"]
+    two = result.data["TwoCase"]
+    four = result.data["FourCase"]
+
+    # The default two-backend split wins.
+    assert two["throughput"] >= one["throughput"]
+    assert two["throughput"] > four["throughput"]
+
+    def eps(case, side):
+        selects = case[f"{side}_selects"]
+        return case[f"{side}_events"] / selects if selects else 0.0
+
+    # OneCase: the lone backend reactor is saturated — it drains the
+    # maximum batch on every cycle, while FourCase's four under-loaded
+    # reactors keep returning smaller batches.
+    assert eps(one, "backend") > 1.3 * eps(four, "backend")
+
+    # FourCase shifts the select load to the backend side.
+    assert four["backend_selects"] > one["backend_selects"]

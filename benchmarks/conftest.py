@@ -1,0 +1,27 @@
+"""Shared machinery for the exhibit benchmarks.
+
+Every benchmark regenerates one paper exhibit (quick grids), prints the
+same rows/series the paper reports, and asserts the qualitative *shape*
+— who wins, by roughly what factor, where crossovers fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.figures import run_exhibit
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Run one exhibit exactly once under the benchmark timer and print
+    its report."""
+
+    def _run(name, seed=42):
+        result = benchmark.pedantic(
+            run_exhibit, args=(name,), kwargs={"quick": True, "seed": seed},
+            rounds=1, iterations=1)
+        print("\n" + result.text + "\n")
+        return result
+
+    return _run

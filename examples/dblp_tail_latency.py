@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tail latency on the DBLP co-author workload with and without the
+fanout-aware scheduler.
+
+Reproduces the shape of the paper's Section 6.2 evaluation: a RUBBoS
+(Poisson) user population reads 30 kB co-author tuples fanned out over
+a 20-shard cluster; we compare DoubleFaceAD with the priority scheduler,
+without it, and the two asynchronous baselines.
+
+Run:  python examples/dblp_tail_latency.py
+"""
+
+from repro.data import DBLPDataset
+from repro.experiments import ExperimentConfig, run_experiment
+
+SERVERS = [
+    ("doubleface", "DoubleFaceAD (w/ schedule)"),
+    ("doubleface-fifo", "DoubleFaceAD (w/o schedule)"),
+    ("aio", "AIOBackend"),
+    ("netty", "NettyBackend"),
+]
+
+PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+def main():
+    dataset = DBLPDataset()
+    print("DBLP co-author workload: "
+          f"{dataset.n_pairs / 1e6:.0f}M tuples x {dataset.tuple_bytes // 1024} kB, "
+          f"{dataset.n_shards} shards (~{dataset.shard_bytes / 2**30:.0f} GB each)\n")
+
+    rows = []
+    for kind, label in SERVERS:
+        result = run_experiment(ExperimentConfig(
+            server=kind, workload="open", users=600, think_time=8.4,
+            lfan=5, sfan=3, response_size=dataset.tuple_bytes, reactors=1,
+            warmup=4.0, duration=15.0,
+            params={"app_cores": 1, "request_cpu": 0.3e-3,
+                    "request_cpu_cv": 0.5, "service_cv": 2.5}))
+        rows.append((label, result))
+
+    header = (f"{'server':>28s} " +
+              " ".join(f"p{int(q):>2d}[ms]" for q in PERCENTILES) +
+              f" {'req/s':>7s} {'CPU':>5s}")
+    print(header)
+    print("-" * len(header))
+    for label, result in rows:
+        cells = " ".join(f"{1e3 * result.percentiles[q]:7.1f}"
+                         for q in PERCENTILES)
+        print(f"{label:>28s} {cells} {result.throughput:7.0f} "
+              f"{100 * result.cpu_utilization:4.0f}%")
+
+    base = rows[1][1].percentiles[99.0]
+    for label, result in (rows[2], rows[3]):
+        factor = result.percentiles[99.0] / base
+        print(f"\n{label} p99 is {factor:.1f}x DoubleFaceAD's")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a fanout-query topology and measure two drivers.
+
+Builds the paper's basic scenario with the public API — a 20-shard
+datastore cluster, an application server, and a closed-loop client
+population issuing fanout queries — then compares the DoubleFaceAD
+server against the Netty-style Type-2a baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (ClosedLoopWorkload, CostParams, DatastoreCluster,
+                   DoubleFaceServer, Metrics, NettyBackendServer, RngStreams,
+                   Simulator, uniform_profile)
+
+
+def run_server(server_cls, label, seconds=2.0, warmup=0.5, **server_kw):
+    """Simulate one server architecture and return its key numbers."""
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams()                  # the calibrated testbed model
+    rng = RngStreams(seed=42)
+
+    cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=20)
+    server = server_cls(sim, metrics, params, cluster, rng, **server_kw)
+    profile = uniform_profile(fanout=5, response_size=100)   # 0.1 kB
+    workload = ClosedLoopWorkload(sim, metrics, params, server, profile,
+                                  concurrency=100, rng_streams=rng)
+
+    server.start()
+    workload.start()
+    sim.run(until=warmup)
+    metrics.mark_window_start(sim.now)     # discard warm-up
+    sim.run(until=warmup + seconds)
+
+    rt = metrics.latency("client.rt")
+    return {
+        "label": label,
+        "throughput": metrics.rate("client.completed", sim.now),
+        "p50_ms": 1e3 * rt.percentile(50.0),
+        "p99_ms": 1e3 * rt.percentile(99.0),
+        "cpu": server.cpu.utilization(),
+    }
+
+
+def main():
+    print("DoubleFaceAD quickstart: fanout 5, 0.1 kB responses, "
+          "100 concurrent users\n")
+    rows = [
+        run_server(DoubleFaceServer, "DoubleFaceAD"),
+        run_server(NettyBackendServer, "NettyBackend (Type-2a)"),
+    ]
+    header = f"{'server':>24s} {'req/s':>9s} {'p50[ms]':>9s} {'p99[ms]':>9s} {'CPU':>6s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['label']:>24s} {row['throughput']:9.0f} "
+              f"{row['p50_ms']:9.2f} {row['p99_ms']:9.2f} "
+              f"{100 * row['cpu']:5.0f}%")
+    speedup = rows[0]["throughput"] / rows[1]["throughput"]
+    print(f"\nDoubleFaceAD throughput advantage: {100 * (speedup - 1):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

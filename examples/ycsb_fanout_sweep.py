@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fanout sweep on the YCSB workload across all five architectures.
+
+The scenario from the paper's introduction: a web-search-style request
+fans out to an increasing number of datastore shards.  This sweeps the
+fanout factor from 1 to 20 and prints throughput and tail latency per
+architecture — the quickest way to see where each design breaks down.
+
+Run:  python examples/ycsb_fanout_sweep.py [--size 20480]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+ARCHITECTURES = [
+    ("threadbased", "thread-based"),
+    ("type1", "Type-1 async"),
+    ("aio", "AIO (Type-2b)"),
+    ("netty", "Netty (Type-2a)"),
+    ("doubleface", "DoubleFaceAD"),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=100,
+                        help="fanout response size in bytes (default 100)")
+    parser.add_argument("--concurrency", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    slow = args.size >= 4096
+    duration, warmup = (3.0, 1.5) if slow else (1.0, 0.4)
+
+    print(f"YCSB fanout sweep: {args.size} B responses, "
+          f"{args.concurrency} concurrent users\n")
+    header = (f"{'fanout':>6s} " + " ".join(f"{label:>16s}"
+                                            for _k, label in ARCHITECTURES))
+    print(header + "     (throughput req/s | p99 ms)")
+    print("-" * len(header))
+    for fanout in (1, 5, 10, 20):
+        cells = []
+        for kind, _label in ARCHITECTURES:
+            result = run_experiment(ExperimentConfig(
+                server=kind, concurrency=args.concurrency, fanout=fanout,
+                response_size=args.size, warmup=warmup, duration=duration,
+                seed=args.seed))
+            cells.append(f"{result.throughput:7.0f}|{1e3 * result.percentiles[99.0]:7.1f}")
+        print(f"{fanout:>6d} " + " ".join(f"{c:>16s}" for c in cells))
+
+    print("\nReading guide: thread-based/Type-1 pay multithreading "
+          "overhead, AIO pays its on-demand pool at large sizes, Netty "
+          "pays spurious selects at small sizes; DoubleFaceAD avoids "
+          "both (paper Figs. 4, 5, 13).")
+
+
+if __name__ == "__main__":
+    main()

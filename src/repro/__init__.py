@@ -1,0 +1,76 @@
+"""DoubleFaceAD reproduction: asynchronous datastore driver
+architectures for fanout queries on distributed datastores.
+
+Reproduces Zhang et al., *"DoubleFaceAD: A New Datastore Driver
+Architecture to Optimize Fanout Query Performance"* (ACM/IFIP
+Middleware 2020) as a deterministic discrete-event simulation.
+
+Quick start::
+
+    from repro import (Simulator, Metrics, CostParams, RngStreams,
+                       DatastoreCluster, DoubleFaceServer,
+                       ClosedLoopWorkload, uniform_profile)
+
+    sim, metrics, params = Simulator(), Metrics(), CostParams()
+    rng = RngStreams(seed=42)
+    cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=20)
+    server = DoubleFaceServer(sim, metrics, params, cluster, rng)
+    workload = ClosedLoopWorkload(sim, metrics, params, server,
+                                  uniform_profile(fanout=5,
+                                                  response_size=100),
+                                  concurrency=50, rng_streams=rng)
+    server.start()
+    workload.start()
+    sim.run(until=2.0)
+    print(metrics.rate("client.completed", sim.now), "req/s")
+
+or drive a whole configured experiment::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+    result = run_experiment(ExperimentConfig(server="doubleface"))
+
+Package layout:
+
+- :mod:`repro.sim` — the discrete-event substrate (CPU, threads,
+  selectors, network, metrics).
+- :mod:`repro.datastore` — the sharded key-value datastore.
+- :mod:`repro.data` — YCSB and DBLP dataset generators.
+- :mod:`repro.drivers` — the four baseline server architectures.
+- :mod:`repro.core` — DoubleFaceAD and its fanout-aware scheduler.
+- :mod:`repro.workload` — closed-loop (JMeter) and open-loop (RUBBoS)
+  generators.
+- :mod:`repro.experiments` — the harness regenerating every paper
+  exhibit.
+"""
+
+from .core import (BackendHandler, BatchScheduler, DoubleFaceServer,
+                   EventHandler, FanoutAwareScheduler, FifoScheduler,
+                   FrontendHandler, Reactor, TaskHandler)
+from .data import DBLPDataset, YCSBDataset
+from .datastore import (DatastoreCluster, HashPartitioner, KVStore,
+                        RecordSchema, ServiceTimeModel, ShardServer,
+                        pick_fanout_shards)
+from .drivers import (AioBackendServer, AppServer, NettyBackendServer,
+                      RequestState, SyncConnectionPool, ThreadBasedServer,
+                      Type1AsyncServer)
+from .messages import HttpRequest, HttpResponse, Query, QueryResponse
+from .sim import (KB, CostParams, Cpu, Metrics, RngStreams, Simulator,
+                  SimThread)
+from .workload import (ClosedLoopWorkload, PoissonWorkload, RequestClass,
+                       WorkloadProfile, lfan_sfan_profile, uniform_profile)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackendHandler", "BatchScheduler", "DoubleFaceServer", "EventHandler",
+    "FanoutAwareScheduler", "FifoScheduler", "FrontendHandler", "Reactor",
+    "TaskHandler", "DBLPDataset", "YCSBDataset", "DatastoreCluster",
+    "HashPartitioner", "KVStore", "RecordSchema", "ServiceTimeModel",
+    "ShardServer", "pick_fanout_shards", "AioBackendServer", "AppServer",
+    "NettyBackendServer", "RequestState", "SyncConnectionPool",
+    "ThreadBasedServer", "Type1AsyncServer", "HttpRequest", "HttpResponse",
+    "Query", "QueryResponse", "KB", "CostParams", "Cpu", "Metrics",
+    "RngStreams", "Simulator", "SimThread", "ClosedLoopWorkload",
+    "PoissonWorkload", "RequestClass", "WorkloadProfile",
+    "lfan_sfan_profile", "uniform_profile", "__version__",
+]

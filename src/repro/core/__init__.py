@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the DoubleFaceAD integrated
+driver architecture and its fanout-query-aware batch scheduler."""
+
+from .doubleface import DoubleFaceServer, Reactor
+from .handlers import BackendHandler, EventHandler, FrontendHandler, TaskHandler
+from .scheduling import (BatchScheduler, DeferIncompleteScheduler,
+                         FanoutAwareScheduler, FifoScheduler,
+                         StableFanoutScheduler)
+
+__all__ = [
+    "DoubleFaceServer", "Reactor", "BackendHandler", "EventHandler",
+    "FrontendHandler", "TaskHandler", "BatchScheduler",
+    "DeferIncompleteScheduler", "FanoutAwareScheduler", "FifoScheduler",
+    "StableFanoutScheduler",
+]

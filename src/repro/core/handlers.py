@@ -1,0 +1,92 @@
+"""Pluggable event handlers for DoubleFaceAD reactors.
+
+The integrated design "does not necessarily sacrifice software
+maintenance flexibility" (Section 5.1): business logic and datastore
+driver management are *pluggable event handlers* running on the shared
+reactor threads.  A handler is selected by the channel kind of the
+ready event (``"upstream"``, ``"downstream"``, ``"task"``); developers
+upgrade the frontend business logic or the backend connection
+management independently by swapping the corresponding handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..drivers.base import RequestState
+from ..messages import HttpRequest, QueryResponse
+
+__all__ = ["EventHandler", "FrontendHandler", "BackendHandler", "TaskHandler"]
+
+
+class EventHandler:
+    """Interface: process one ready event on a reactor thread.
+
+    ``handle`` is a coroutine (used with ``yield from``) receiving the
+    reactor the event fired on, plus the channel and message.
+    """
+
+    def handle(self, reactor, channel, message):
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator signature
+
+
+class FrontendHandler(EventHandler):
+    """Default upstream handler: parse, run business logic, fan out.
+
+    ``business_logic`` is the pluggable hook: a coroutine factory
+    ``(reactor, request) -> generator`` run after parsing and before the
+    fanout dispatch (e.g. to rewrite the query set); None runs the
+    standard flow.
+    """
+
+    def __init__(self, business_logic: Optional[
+            Callable[[Any, HttpRequest], Any]] = None) -> None:
+        self.business_logic = business_logic
+
+    def handle(self, reactor, channel, message):
+        if not isinstance(message, HttpRequest):
+            raise TypeError(f"unexpected upstream message: {message!r}")
+        server = reactor.server
+        yield from server.parse_request(reactor.thread, message)
+        if self.business_logic is not None:
+            yield from self.business_logic(reactor, message)
+        state = RequestState(message, channel.context, server.sim.now)
+        state_key = id(state)
+        reactor.inflight[state_key] = state
+        for query in server.build_queries(message, context=state):
+            yield reactor.thread.execute(server.params.fanout_send_cost, "app")
+            conn = reactor.downstream[query.shard_id]
+            yield from conn.send(reactor.thread, query, query.wire_size,
+                                 to_side="b")
+
+
+class BackendHandler(EventHandler):
+    """Default downstream handler: process a fanout response; when the
+    request is complete, assemble and reply *inline* on the same
+    reactor thread — no cross-thread hand-off."""
+
+    def handle(self, reactor, channel, message):
+        if not isinstance(message, QueryResponse):
+            raise TypeError(f"unexpected downstream message: {message!r}")
+        server = reactor.server
+        yield from server.process_response_cpu(
+            reactor.thread, message.payload_size)
+        state: RequestState = message.context
+        if state.absorb(message.payload_size, server.sim.now):
+            reactor.inflight.pop(id(state), None)
+            yield from server.finish_request(reactor.thread, state)
+
+
+class TaskHandler(EventHandler):
+    """Handler for events posted into the reactor (``"task"`` kind).
+
+    The message must be a coroutine factory ``(reactor) -> generator``;
+    this is the extension point examples use to run periodic or
+    administrative work on reactor threads.
+    """
+
+    def handle(self, reactor, channel, message):
+        if not callable(message):
+            raise TypeError(f"task events must be callable, got {message!r}")
+        yield from message(reactor)

@@ -1,0 +1,212 @@
+"""Fanout-query-aware priority batch scheduling (Section 5.2).
+
+A DoubleFaceAD reactor collects a *batch* of ready events at each event
+monitoring phase.  The batch typically holds fanout responses belonging
+to several different client requests, plus new client requests.  The
+paper's observation: processing the responses of a request that
+*cannot* complete in this batch (some of its fanout responses have not
+arrived yet) delays requests that *can* complete — pure head-of-line
+blocking.
+
+The scheduler therefore orders a batch as follows (Figure 12):
+
+1. **Completable requests first** — requests whose every outstanding
+   fanout response is present in the batch — in ascending order of
+   outstanding work (fewest responses first, the SJF rule that
+   minimises average waiting time).
+2. **New client requests** next (they only generate downstream work;
+   ordering them after completables lets finished work drain first).
+3. **Incomplete fanout responses last** — their request cannot finish
+   in this batch anyway.
+
+Within each tier the original arrival order is kept (stable sort), so
+the FIFO baseline and the fanout-aware policy differ only where the
+paper's algorithm says they should.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..messages import HttpRequest, QueryResponse
+
+__all__ = ["BatchScheduler", "FifoScheduler", "FanoutAwareScheduler",
+           "StableFanoutScheduler", "DeferIncompleteScheduler"]
+
+#: A batch element: (channel, message).
+BatchEvent = Tuple[Any, Any]
+
+
+class BatchScheduler:
+    """Interface: reorder one ready-event batch before processing."""
+
+    #: Name used in reports.
+    name = "abstract"
+
+    def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
+        raise NotImplementedError
+
+
+class FifoScheduler(BatchScheduler):
+    """Process events in arrival order (the "w/o schedule" baseline)."""
+
+    name = "fifo"
+
+    def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
+        return list(batch)
+
+
+class FanoutAwareScheduler(BatchScheduler):
+    """The paper's priority policy: completable requests first."""
+
+    name = "fanout-aware"
+
+    def __init__(self) -> None:
+        #: Events promoted ahead of arrival order (diagnostics).
+        self.promoted = 0
+        #: Events deferred behind arrival order (diagnostics).
+        self.deferred = 0
+        self.batches = 0
+
+    @staticmethod
+    def _request_state(message: Any) -> Optional[Any]:
+        """The request-lifecycle object a response belongs to, if any."""
+        if isinstance(message, QueryResponse):
+            return message.context
+        return None
+
+    def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
+        if len(batch) <= 1:
+            return list(batch)
+        self.batches += 1
+
+        # Count, per request, how many of its responses sit in this batch.
+        in_batch: Dict[int, int] = {}
+        for _channel, message in batch:
+            state = self._request_state(message)
+            if state is not None:
+                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+
+        completable: List[Tuple[int, int, BatchEvent]] = []
+        requests: List[BatchEvent] = []
+        incomplete: List[BatchEvent] = []
+        for position, event in enumerate(batch):
+            _channel, message = event
+            state = self._request_state(message)
+            if state is None:
+                if isinstance(message, HttpRequest) or getattr(
+                        message, "wire_size", None) is not None:
+                    requests.append(event)
+                else:
+                    # Unknown event kinds keep arrival order among requests.
+                    requests.append(event)
+                continue
+            remaining = getattr(state, "remaining", None)
+            if remaining is not None and in_batch[id(state)] >= remaining:
+                # Every outstanding response is here: completable.
+                completable.append((remaining, position, event))
+            else:
+                incomplete.append(event)
+
+        # SJF among completable requests: fewest outstanding responses
+        # first; stable on arrival position.
+        completable.sort(key=lambda item: (item[0], item[1]))
+        ordered = [event for (_r, _p, event) in completable]
+        ordered.extend(requests)
+        ordered.extend(incomplete)
+
+        # Diagnostics: how far events moved relative to arrival order.
+        original_positions = {id(event[1]): i for i, event in enumerate(batch)}
+        for new_pos, event in enumerate(ordered):
+            old_pos = original_positions[id(event[1])]
+            if new_pos < old_pos:
+                self.promoted += 1
+            elif new_pos > old_pos:
+                self.deferred += 1
+        return ordered
+
+
+class StableFanoutScheduler(FanoutAwareScheduler):
+    """Ablation variant: completable-first *without* the SJF sort.
+
+    Completable groups keep their arrival order instead of being sorted
+    by outstanding work, removing the SJF bias against large-fanout
+    requests (see EXPERIMENTS.md's scheduler analysis).
+    """
+
+    name = "fanout-aware-stable"
+
+    def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
+        if len(batch) <= 1:
+            return list(batch)
+        self.batches += 1
+        in_batch: Dict[int, int] = {}
+        for _channel, message in batch:
+            state = self._request_state(message)
+            if state is not None:
+                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        completable: List[BatchEvent] = []
+        requests: List[BatchEvent] = []
+        incomplete: List[BatchEvent] = []
+        for event in batch:
+            _channel, message = event
+            state = self._request_state(message)
+            if state is None:
+                requests.append(event)
+            elif in_batch[id(state)] >= getattr(state, "remaining", 0):
+                completable.append(event)
+            else:
+                incomplete.append(event)
+        return completable + requests + incomplete
+
+
+class DeferIncompleteScheduler(FanoutAwareScheduler):
+    """Ablation variant: push incomplete-group responses to the *next*
+    batch entirely.
+
+    ``order`` returns only the events to process now; the reactor must
+    call :meth:`take_deferred` afterwards and re-queue those events (the
+    DoubleFace reactor loop does this when it detects this scheduler).
+    When a batch consists solely of incomplete responses they are
+    processed anyway, so stragglers cannot starve.
+    """
+
+    name = "defer-incomplete"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_deferred: List[BatchEvent] = []
+
+    def take_deferred(self) -> List[BatchEvent]:
+        """Events the last ``order`` call postponed (drains the list)."""
+        postponed, self._last_deferred = self._last_deferred, []
+        return postponed
+
+    def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
+        if len(batch) <= 1:
+            self._last_deferred = []
+            return list(batch)
+        self.batches += 1
+        in_batch: Dict[int, int] = {}
+        for _channel, message in batch:
+            state = self._request_state(message)
+            if state is not None:
+                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        now: List[BatchEvent] = []
+        defer: List[BatchEvent] = []
+        for event in batch:
+            _channel, message = event
+            state = self._request_state(message)
+            if (state is not None
+                    and in_batch[id(state)] < getattr(state, "remaining", 0)):
+                defer.append(event)
+            else:
+                now.append(event)
+        if not now:
+            # Nothing but incomplete responses: process them to avoid
+            # spinning and to bound straggler waiting.
+            self._last_deferred = []
+            return defer
+        self.deferred += len(defer)
+        self._last_deferred = defer
+        return now

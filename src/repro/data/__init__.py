@@ -1,0 +1,10 @@
+"""Dataset generators: YCSB (synthetic benchmark data) and a synthetic
+DBLP co-author corpus matching the paper's real-life evaluation."""
+
+from .dblp import CoAuthorPair, DBLPDataset
+from .ycsb import UniformGenerator, YCSBDataset, ZipfianGenerator
+
+__all__ = [
+    "CoAuthorPair", "DBLPDataset", "UniformGenerator", "YCSBDataset",
+    "ZipfianGenerator",
+]

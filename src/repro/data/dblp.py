@@ -1,0 +1,102 @@
+"""Synthetic DBLP co-author dataset.
+
+The paper's real-life evaluation (Section 6.2) uses the DBLP
+bibliography: more than 7 M co-author pairs, each tuple about 30 kB,
+evenly distributed over the 20 MongoDB shards (~20 GB per shard).  The
+actual dump is not redistributable here, so we generate a synthetic
+equivalent preserving everything the evaluation depends on: tuple
+count, tuple size, even sharding, and a skewed author-popularity
+distribution (co-authorship counts in DBLP follow a heavy-tailed law —
+we use a Zipf-like popularity over authors).
+
+Only the descriptor participates in simulation-scale runs;
+``materialize`` produces real tuples for tests and examples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .ycsb import ZipfianGenerator
+
+__all__ = ["DBLPDataset", "CoAuthorPair"]
+
+
+@dataclass(frozen=True)
+class CoAuthorPair:
+    """One co-author tuple: two authors plus their joint-paper blob."""
+
+    author_a: str
+    author_b: str
+    payload: bytes
+
+    @property
+    def key(self) -> str:
+        return f"{self.author_a}|{self.author_b}"
+
+
+@dataclass
+class DBLPDataset:
+    """Descriptor of the synthetic DBLP co-author dataset."""
+
+    n_pairs: int = 7_000_000
+    n_authors: int = 500_000
+    tuple_bytes: int = 30 * 1024
+    n_shards: int = 20
+    #: Zipf skew of author popularity (prolific authors co-author more).
+    popularity_theta: float = 0.8
+
+    @property
+    def shard_bytes(self) -> int:
+        """Approximate bytes per shard (the paper's ~20 GB)."""
+        return self.n_pairs * self.tuple_bytes // self.n_shards
+
+    def author_name(self, index: int) -> str:
+        if not 0 <= index < self.n_authors:
+            raise IndexError(f"author index out of range: {index}")
+        return f"author{index:08d}"
+
+    def pair_for(self, index: int) -> Tuple[str, str]:
+        """Deterministic (author_a, author_b) for tuple *index*.
+
+        The first author is drawn from a skewed popularity law seeded by
+        the index, the second uniformly; both derived by hashing so the
+        mapping is stable without materialising 7 M tuples.
+        """
+        if not 0 <= index < self.n_pairs:
+            raise IndexError(f"pair index out of range: {index}")
+        digest = hashlib.sha256(f"dblp-pair-{index}".encode()).digest()
+        local = random.Random(int.from_bytes(digest[:8], "big"))
+        zipf = ZipfianGenerator(self.n_authors, local, theta=self.popularity_theta)
+        a = zipf.next_index()
+        b = local.randrange(self.n_authors - 1)
+        if b >= a:
+            b += 1  # distinct authors
+        return self.author_name(a), self.author_name(b)
+
+    def key_for(self, index: int) -> str:
+        a, b = self.pair_for(index)
+        return f"{a}|{b}"
+
+    def key_chooser(self, rng: random.Random):
+        """Zero-arg callable choosing tuple keys uniformly (the paper's
+        workload reads random co-author pairs)."""
+        return lambda: self.key_for(rng.randrange(self.n_pairs))
+
+    def materialize(self, n: int, start: int = 0) -> Iterator[CoAuthorPair]:
+        """Yield *n* real tuples with deterministic payloads."""
+        end = min(start + n, self.n_pairs)
+        for index in range(start, end):
+            a, b = self.pair_for(index)
+            seed = f"dblp-payload-{index}".encode()
+            block = hashlib.sha256(seed).digest()
+            payload = (block * (self.tuple_bytes // len(block) + 1))[: self.tuple_bytes]
+            yield CoAuthorPair(a, b, payload)
+
+    def op_for_size(self, response_size: int) -> str:
+        """DBLP tuples are large single-document fetches: the shard does
+        a point lookup but returns a heavy payload."""
+        return "get" if response_size <= self.tuple_bytes else "scan"

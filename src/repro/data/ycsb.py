@@ -1,0 +1,144 @@
+"""YCSB-style dataset and key-choice distributions.
+
+Reproduces the geometry of the paper's synthetic dataset: each of the
+20 shards holds one million 1 kB records, every record a primary key
+plus ten 0.1 kB fields (Section 2.2).  Key choice follows YCSB's
+workload distributions; we implement the uniform chooser and the
+zipfian chooser (YCSB's default "scrambled zipfian" hot-key pattern,
+using the Gray/Jim-Gray incremental zipfian algorithm).
+
+For simulation-scale runs only the *descriptor* (sizes, key space) is
+used; ``materialize(n)`` produces real records for tests and examples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..datastore.records import RecordSchema, materialize_record
+
+__all__ = ["YCSBDataset", "ZipfianGenerator", "UniformGenerator"]
+
+#: YCSB's default zipfian constant.
+ZIPFIAN_CONSTANT = 0.99
+
+
+class UniformGenerator:
+    """Uniform key-index chooser over [0, n)."""
+
+    def __init__(self, n: int, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("key space must be non-empty")
+        self.n = n
+        self.rng = rng
+
+    def next_index(self) -> int:
+        return self.rng.randrange(self.n)
+
+
+class ZipfianGenerator:
+    """YCSB's zipfian distribution over [0, n).
+
+    Implements the rejection-free inversion method from the YCSB source
+    (Gray et al., "Quickly generating billion-record synthetic
+    databases").  Index 0 is the hottest item; callers that want
+    scattered hot keys should scramble (see
+    :meth:`YCSBDataset.key_chooser`).
+    """
+
+    def __init__(self, n: int, rng: random.Random,
+                 theta: float = ZIPFIAN_CONSTANT) -> None:
+        if n < 1:
+            raise ValueError("key space must be non-empty")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.rng = rng
+        self.theta = theta
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        denominator = 1.0 - self.zeta2 / self.zetan
+        if denominator <= 0.0:
+            # Degenerate tiny keyspace (n <= 2): eta cancels out.
+            self.eta = 1.0
+        else:
+            self.eta = ((1.0 - math.pow(2.0 / n, 1.0 - theta))
+                        / denominator)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin style approximation above a
+        # cutoff keeps construction O(1)-ish for million-key spaces.
+        cutoff = 10_000
+        if n <= cutoff:
+            return sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+        head = sum(1.0 / math.pow(i, theta) for i in range(1, cutoff + 1))
+        # integral of x^-theta from cutoff to n.
+        tail = (math.pow(n, 1.0 - theta) - math.pow(cutoff, 1.0 - theta)) / (1.0 - theta)
+        return head + tail
+
+    def next_index(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        return int(self.n * math.pow(self.eta * u - self.eta + 1.0, self.alpha))
+
+
+@dataclass
+class YCSBDataset:
+    """Descriptor of the paper's YCSB dataset."""
+
+    records_per_shard: int = 1_000_000
+    n_shards: int = 20
+    schema: RecordSchema = RecordSchema(field_count=10, field_size=100)
+
+    @property
+    def total_records(self) -> int:
+        return self.records_per_shard * self.n_shards
+
+    @property
+    def record_bytes(self) -> int:
+        return self.schema.record_bytes
+
+    def key_for(self, index: int) -> str:
+        """YCSB-style key name for record *index*."""
+        if not 0 <= index < self.total_records:
+            raise IndexError(f"record index out of range: {index}")
+        return f"user{index:012d}"
+
+    def scramble(self, index: int) -> int:
+        """Scatter zipfian-hot indexes across the key space (YCSB's
+        ScrambledZipfian behaviour)."""
+        digest = hashlib.md5(str(index).encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.total_records
+
+    def key_chooser(self, rng: random.Random, distribution: str = "zipfian"):
+        """Return a zero-arg callable producing keys."""
+        if distribution == "zipfian":
+            gen = ZipfianGenerator(self.total_records, rng)
+            return lambda: self.key_for(self.scramble(gen.next_index()))
+        if distribution == "uniform":
+            gen = UniformGenerator(self.total_records, rng)
+            return lambda: self.key_for(gen.next_index())
+        raise ValueError(f"unknown distribution {distribution!r}")
+
+    def materialize(self, n: int, start: int = 0) -> Iterator[Tuple[str, bytes]]:
+        """Yield *n* real (key, value) pairs for loading small stores."""
+        end = min(start + n, self.total_records)
+        for index in range(start, end):
+            key = self.key_for(index)
+            fields = materialize_record(self.schema, key)
+            yield key, b"".join(fields.values())
+
+    def op_for_size(self, response_size: int) -> str:
+        """Paper rule: large responses come from scans, small from
+        point lookups."""
+        return "scan" if response_size > self.record_bytes else "get"

@@ -1,0 +1,14 @@
+"""Distributed datastore substrate: records, sharding, storage engine,
+shard servers, and cluster assembly."""
+
+from .cluster import DatastoreCluster
+from .kvstore import KVStore, ServiceTimeModel
+from .records import RecordSchema, materialize_record, record_size
+from .server import ShardServer
+from .sharding import HashPartitioner, pick_fanout_shards
+
+__all__ = [
+    "DatastoreCluster", "KVStore", "ServiceTimeModel", "RecordSchema",
+    "materialize_record", "record_size", "ShardServer", "HashPartitioner",
+    "pick_fanout_shards",
+]

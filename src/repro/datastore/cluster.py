@@ -1,0 +1,83 @@
+"""Assembly of a sharded datastore cluster.
+
+The paper's downstream tier is 20 datastore nodes holding one shard
+each.  :class:`DatastoreCluster` builds the shard servers with
+heterogeneous speed factors, routes keys via the hash partitioner, and
+hands out connections (local-LAN latency, or remote latency for the
+Amazon-DynamoDB-style cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.network import Connection
+from ..sim.params import CostParams
+from ..sim.rng import RngStreams
+from .records import RecordSchema
+from .server import ShardServer
+from .sharding import HashPartitioner
+
+__all__ = ["DatastoreCluster"]
+
+
+class DatastoreCluster:
+    """A set of shard servers plus routing metadata."""
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 rng_streams: RngStreams, n_shards: int = 20,
+                 large_shards: bool = False, remote: bool = False,
+                 schema: Optional[RecordSchema] = None,
+                 name: str = "datastore") -> None:
+        if n_shards < 1:
+            raise ValueError("cluster needs at least one shard")
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.name = name
+        self.remote = remote
+        self.partitioner = HashPartitioner(n_shards)
+        size_factor = params.large_shard_factor if large_shards else 1.0
+        spread_lo, spread_hi = params.shard_speed_spread
+        speed_rng = rng_streams.stream(f"{name}.shard_speeds")
+        self.shards: List[ShardServer] = []
+        for shard_id in range(n_shards):
+            speed = speed_rng.uniform(spread_lo, spread_hi)
+            shard_rng = rng_streams.stream(f"{name}.shard.{shard_id}.service")
+            self.shards.append(ShardServer(
+                sim, metrics, params, shard_id, shard_rng,
+                speed_factor=speed, size_factor=size_factor,
+                schema=schema, name=f"{name}-{shard_id}"))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def connection_latency(self) -> float:
+        """One-way latency from the app server to this cluster."""
+        latency = self.params.net_latency
+        if self.remote:
+            latency += self.params.remote_extra_latency
+        return latency
+
+    def connect_shard(self, shard_id: int) -> Connection:
+        """Open a connection to *shard_id*; caller attaches side ``a``."""
+        return self.shards[shard_id].accept(latency=self.connection_latency())
+
+    def connect_all(self) -> List[Connection]:
+        """One connection per shard, in shard order."""
+        return [self.connect_shard(i) for i in range(self.n_shards)]
+
+    def load(self, items: Iterable[Tuple[str, bytes]]) -> int:
+        """Materialise *items* across shards by hash; returns count."""
+        count = 0
+        for key, value in items:
+            shard_id = self.partitioner.shard_for(key)
+            self.shards[shard_id].store.put(key, value)
+            count += 1
+        return count
+
+    def total_records(self) -> int:
+        return sum(len(shard.store) for shard in self.shards)

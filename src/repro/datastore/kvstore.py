@@ -1,0 +1,110 @@
+"""The shard-local storage engine and its service-time model.
+
+Two concerns live here:
+
+1. A real (small-scale) in-memory ordered KV store supporting ``put``,
+   ``get``, ``delete``, and ``scan`` — used by tests and the examples
+   that materialise data.
+2. The *service-time model* used by the simulation: how long a shard
+   takes to answer a point lookup or a scan of a given size.  The paper
+   reports 0.12 ms average datastore response time on 1 GB shards and
+   0.18 ms on 10 GB shards, with enough per-query variability that
+   fanout queries "may not respond at the same time" — the observation
+   motivating DoubleFaceAD's scheduler.  We model service time as a
+   lognormal around an operation-dependent mean, scaled by a per-shard
+   speed factor (heterogeneous shard servers) and a shard-size factor.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.params import KB, CostParams
+from ..sim.rng import lognormal_from_mean_cv
+
+__all__ = ["KVStore", "ServiceTimeModel"]
+
+
+class KVStore:
+    """A sorted in-memory key-value store (one shard's data).
+
+    Keys are kept in sorted order so ``scan`` has range semantics like
+    the paper's datastores (MongoDB/HBase range scans produce the large
+    responses).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+        self._sorted_keys: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def put(self, key: str, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = value
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Point lookup; None when absent."""
+        return self._data.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove *key*; True if it existed."""
+        if key not in self._data:
+            return False
+        del self._data[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[index]
+        return True
+
+    def scan(self, start_key: str, limit: int) -> List[Tuple[str, bytes]]:
+        """Up to *limit* records with key >= *start_key*, in key order."""
+        if limit < 0:
+            raise ValueError("scan limit must be >= 0")
+        index = bisect.bisect_left(self._sorted_keys, start_key)
+        keys = self._sorted_keys[index:index + limit]
+        return [(k, self._data[k]) for k in keys]
+
+    def size_bytes(self) -> int:
+        """Total stored value bytes."""
+        return sum(len(v) for v in self._data.values())
+
+
+class ServiceTimeModel:
+    """Draws per-query service times for one shard.
+
+    ``speed_factor`` models shard heterogeneity (drawn once per shard
+    from :attr:`CostParams.shard_speed_spread`); ``size_factor`` is 1.0
+    for the paper's default 1 GB shards and
+    :attr:`CostParams.large_shard_factor` for the 10 GB variant.
+    """
+
+    def __init__(self, params: CostParams, rng: random.Random,
+                 speed_factor: float = 1.0, size_factor: float = 1.0) -> None:
+        if speed_factor <= 0 or size_factor <= 0:
+            raise ValueError("factors must be positive")
+        self.params = params
+        self.rng = rng
+        self.speed_factor = speed_factor
+        self.size_factor = size_factor
+
+    def mean_for(self, op: str, response_bytes: int) -> float:
+        """Mean service time for *op* returning *response_bytes*."""
+        base = self.params.point_lookup_mean
+        if op == "scan":
+            base += self.params.scan_per_kb * (response_bytes / KB)
+        elif op != "get":
+            raise ValueError(f"unknown datastore op {op!r}")
+        return base * self.speed_factor * self.size_factor
+
+    def draw(self, op: str, response_bytes: int) -> float:
+        """One stochastic service-time sample."""
+        mean = self.mean_for(op, response_bytes)
+        return lognormal_from_mean_cv(self.rng, mean, self.params.service_cv)

@@ -1,0 +1,55 @@
+"""Record layout for the key-value datastore.
+
+Mirrors the paper's YCSB geometry: each record is a primary key plus a
+set of named fields; the YCSB dataset uses ten 100-byte fields per 1 kB
+record.  Records can be materialised (real bytes, for tests and
+examples) or described (sizes only, for large simulated datasets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["RecordSchema", "materialize_record", "record_size"]
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """Describes the shape of every record in a dataset."""
+
+    field_count: int
+    field_size: int
+    key_size: int = 24
+
+    @property
+    def record_bytes(self) -> int:
+        """Total bytes of one record's values (excluding the key)."""
+        return self.field_count * self.field_size
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f"field{i}" for i in range(self.field_count))
+
+
+def _deterministic_bytes(seed: str, length: int) -> bytes:
+    """Deterministic pseudo-random bytes derived from *seed*."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(f"{seed}:{counter}".encode()).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def materialize_record(schema: RecordSchema, key: str) -> Dict[str, bytes]:
+    """Build the real field map for *key* (deterministic content)."""
+    return {
+        name: _deterministic_bytes(f"{key}/{name}", schema.field_size)
+        for name in schema.field_names()
+    }
+
+
+def record_size(schema: RecordSchema) -> int:
+    """On-the-wire size of one record."""
+    return schema.record_bytes + schema.key_size

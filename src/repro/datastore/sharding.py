@@ -1,0 +1,52 @@
+"""Key partitioning across datastore shards.
+
+The paper shards the YCSB dataset across 20 datastore nodes and varies
+the fanout factor from 1 to 20 by querying that many shards per
+request.  This module provides the hash partitioner plus the fanout
+shard-selection policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence
+
+__all__ = ["HashPartitioner", "pick_fanout_shards"]
+
+
+class HashPartitioner:
+    """Stable hash partitioning of keys onto ``n_shards`` shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+
+    def shard_for(self, key) -> int:
+        """Shard index owning *key* (stable across processes/runs)."""
+        digest = hashlib.md5(str(key).encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_shards
+
+    def split(self, keys: Sequence) -> List[List]:
+        """Partition *keys* into per-shard lists."""
+        buckets: List[List] = [[] for _ in range(self.n_shards)]
+        for key in keys:
+            buckets[self.shard_for(key)].append(key)
+        return buckets
+
+
+def pick_fanout_shards(rng: random.Random, n_shards: int, fanout: int) -> List[int]:
+    """Choose *fanout* distinct shards for one request.
+
+    Matches the paper's setup: a request with fanout factor F issues one
+    sub-query to each of F distinct shards.  ``fanout`` must not exceed
+    the shard count.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if fanout > n_shards:
+        raise ValueError(f"fanout {fanout} exceeds shard count {n_shards}")
+    if fanout == n_shards:
+        return list(range(n_shards))
+    return rng.sample(range(n_shards), fanout)

@@ -1,0 +1,17 @@
+"""The baseline application-server + driver architectures the paper
+compares against: thread-based, Type-1 async (pool of sync-RPC
+workers), Type-2b (AIO with on-demand pool), and Type-2a (Netty with
+split frontend/backend reactors)."""
+
+from .aio_backend import AioBackendServer
+from .base import AppServer, RequestState, default_op_rule
+from .conn_pool import SyncConnectionPool
+from .netty_backend import NettyBackendServer
+from .threadbased import ThreadBasedServer
+from .type1 import Type1AsyncServer
+
+__all__ = [
+    "AioBackendServer", "AppServer", "RequestState", "default_op_rule",
+    "SyncConnectionPool", "NettyBackendServer", "ThreadBasedServer",
+    "Type1AsyncServer",
+]

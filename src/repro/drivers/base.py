@@ -1,0 +1,197 @@
+"""Shared machinery of every application-server + driver architecture.
+
+All five servers (thread-based, Type-1, Type-2a Netty, Type-2b AIO,
+DoubleFaceAD) share the same request lifecycle:
+
+1. read + parse an upstream :class:`~repro.messages.HttpRequest`
+   (``http_parse_cost`` + any ``request_cpu`` business logic);
+2. issue one :class:`~repro.messages.Query` per fanout target
+   (``fanout_send_cost`` + write syscall each);
+3. process each :class:`~repro.messages.QueryResponse`
+   (``response_process_cost``, proportional to payload);
+4. when all fanout responses are in, assemble + send the
+   :class:`~repro.messages.HttpResponse` (``assemble_cost``).
+
+What differs between architectures — and what the paper studies — is
+*which thread does what*.  Subclasses implement :meth:`accept_client`
+(wiring an upstream connection into their event machinery) and the
+processing flow; this base centralises query construction, request
+bookkeeping, and completion accounting so the architectures differ only
+in their concurrency structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..datastore.cluster import DatastoreCluster
+from ..datastore.sharding import pick_fanout_shards
+from ..messages import HttpRequest, HttpResponse, Query
+from ..sim.cpu import Cpu
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.params import CostParams
+from ..sim.rng import RngStreams, lognormal_from_mean_cv
+from ..sim.network import Connection
+from ..sim.threads import Mutex, SimThread, locked_section
+
+__all__ = ["AppServer", "RequestState", "default_op_rule"]
+
+
+def default_op_rule(response_size: int) -> str:
+    """The paper's rule: responses larger than one record (1 kB) come
+    from scan queries, smaller ones from point lookups."""
+    return "scan" if response_size > 1024 else "get"
+
+
+class RequestState:
+    """Lifecycle bookkeeping for one in-flight upstream request."""
+
+    __slots__ = ("request", "conn", "remaining", "fanout", "total_bytes",
+                 "arrived_at", "first_response_at")
+
+    def __init__(self, request: HttpRequest, conn: Connection, now: float) -> None:
+        self.request = request
+        self.conn = conn
+        self.remaining = request.fanout
+        self.fanout = request.fanout
+        self.total_bytes = 0
+        self.arrived_at = now
+        self.first_response_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+    def absorb(self, payload_size: int, now: float) -> bool:
+        """Account one fanout response; True when this was the last."""
+        if self.remaining <= 0:
+            raise RuntimeError(
+                f"request {self.request.request_id} received more responses "
+                "than fanout queries")
+        if self.first_response_at is None:
+            self.first_response_at = now
+        self.remaining -= 1
+        self.total_bytes += payload_size
+        return self.remaining == 0
+
+
+class AppServer:
+    """Base class for every server architecture under study."""
+
+    #: Human-readable architecture name, set by subclasses.
+    kind = "abstract"
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 cluster: DatastoreCluster, rng_streams: RngStreams,
+                 op_rule: Callable[[int], str] = default_op_rule,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.cluster = cluster
+        self.name = name or self.kind
+        self.op_rule = op_rule
+        self.cpu = Cpu(sim, metrics, params, name="app")
+        self._fanout_rng = rng_streams.stream(f"{self.name}.fanout")
+        self._request_cpu_rng = rng_streams.stream(f"{self.name}.request_cpu")
+        self.requests_completed = 0
+        #: Shared buffer-allocator lock.  Architectures whose worker
+        #: threads are transient or unbounded (thread-based, Type-1,
+        #: Type-2b) allocate from a process-wide pool and contend here;
+        #: reactor architectures (Type-2a, DoubleFaceAD) use per-thread
+        #: arenas and never touch it.
+        self.allocator = Mutex(sim, self.cpu, metrics, params,
+                               name=f"{self.name}.allocator")
+
+    # -- to be provided by subclasses ------------------------------------
+
+    def accept_client(self) -> Connection:
+        """Open an upstream connection; the client attaches side ``a``."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Launch the server's threads (called once by the harness)."""
+        raise NotImplementedError
+
+    def selectors(self):
+        """All selectors this server owns (for Table 2/3 reporting)."""
+        return []
+
+    # -- shared helpers -----------------------------------------------------
+
+    def build_queries(self, request: HttpRequest, context: Any) -> List[Query]:
+        """One query per fanout target, on distinct shards."""
+        shard_ids = pick_fanout_shards(
+            self._fanout_rng, self.cluster.n_shards, request.fanout)
+        op = self.op_rule(request.response_size)
+        keys = request.keys
+        queries = []
+        for seq, shard_id in enumerate(shard_ids):
+            key = keys[seq] if keys is not None and seq < len(keys) else None
+            queries.append(Query(
+                request_id=request.request_id,
+                shard_id=shard_id,
+                op=op,
+                response_size=request.response_size,
+                key=key,
+                seq=seq,
+                context=context,
+            ))
+        return queries
+
+    def parse_request(self, thread: SimThread, request: HttpRequest):
+        """Coroutine: charge request parsing + business-logic CPU.
+
+        The business-logic cost is drawn from a lognormal with mean
+        :attr:`CostParams.request_cpu` and CV
+        :attr:`CostParams.request_cpu_cv` (deterministic when the CV
+        is 0), modelling heterogeneous page weights.
+        """
+        self.metrics.add("server.requests")
+        cost = self.params.http_parse_cost
+        if self.params.request_cpu > 0:
+            if self.params.request_cpu_cv > 0:
+                cost += lognormal_from_mean_cv(
+                    self._request_cpu_rng, self.params.request_cpu,
+                    self.params.request_cpu_cv)
+            else:
+                cost += self.params.request_cpu
+        yield thread.execute(cost, "app")
+
+    def process_response_cpu(self, thread: SimThread, payload_size: int):
+        """Coroutine: charge fanout-response processing CPU."""
+        self.metrics.add("server.fanout_responses")
+        yield thread.execute(
+            self.params.response_process_cost(payload_size), "app")
+
+    def allocate_buffer(self, thread: SimThread, size: int):
+        """Coroutine: allocate a response buffer from the *shared* pool
+        (only called by non-reactor architectures).
+
+        Small allocations come from thread-local caches and are free;
+        only buffers past the TLAB threshold serialise on the shared
+        allocator lock.
+        """
+        if size < self.params.alloc_tlab_threshold:
+            return
+        hold = (self.params.alloc_base_hold
+                + self.params.alloc_per_kb_hold * (size / 1024.0))
+        yield from locked_section(thread, self.allocator, hold, "app")
+
+    def finish_request(self, thread: SimThread, state: RequestState):
+        """Coroutine: assemble the reply and send it upstream."""
+        yield thread.execute(
+            self.params.assemble_cost(state.total_bytes), "app")
+        response = HttpResponse(
+            request_id=state.request.request_id,
+            payload_size=state.total_bytes,
+            klass=state.request.klass,
+            completed_at=self.sim.now,
+        )
+        self.requests_completed += 1
+        self.metrics.add("server.completed")
+        self.metrics.add(f"server.completed.{state.request.klass}")
+        self.metrics.latency("server.time_in_server").record(
+            self.sim.now, self.sim.now - state.arrived_at)
+        yield from state.conn.send(thread, response, response.wire_size, to_side="a")

@@ -1,0 +1,85 @@
+"""Blocking connection pool for synchronous-RPC drivers.
+
+Thread-based and Type-1 asynchronous drivers communicate with each
+shard over *exclusively checked-out* connections (one outstanding query
+per connection), the classic sync-RPC pattern.  Checkout/checkin go
+through a single pool mutex — the shared structure whose contention
+perf attributes to "Locking (mutex)" in Table 1 when many worker
+threads hammer it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..datastore.cluster import DatastoreCluster
+from ..messages import Query, QueryResponse
+from ..sim.cpu import Cpu
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.network import Connection, InboxEndpoint
+from ..sim.params import CostParams
+from ..sim.threads import Mutex, SimThread, locked_section
+
+__all__ = ["SyncConnectionPool"]
+
+
+class SyncConnectionPool:
+    """Per-shard free lists of blocking connections, one global lock."""
+
+    def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
+                 params: CostParams, cluster: DatastoreCluster,
+                 name: str = "connpool") -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.metrics = metrics
+        self.params = params
+        self.cluster = cluster
+        self.name = name
+        self.mutex = Mutex(sim, cpu, metrics, params, name=name)
+        self._free: List[List[Tuple[Connection, InboxEndpoint]]] = [
+            [] for _ in range(cluster.n_shards)
+        ]
+        self.created = 0
+
+    def checkout(self, thread: SimThread, shard_id: int):
+        """Coroutine: obtain an exclusive (connection, inbox) pair.
+
+        Creates a new connection (paying one TCP-setup round trip) when
+        the free list is empty — the pool grows to the high-water mark
+        of concurrent queries per shard, like a real driver pool.
+        """
+        yield from locked_section(
+            thread, self.mutex, self.params.mutex_hold_time, "app")
+        free = self._free[shard_id]
+        if free:
+            self.metrics.add(f"pool.{self.name}.reused")
+            return free.pop()
+        conn = self.cluster.connect_shard(shard_id)
+        inbox = InboxEndpoint(self.sim, self.cpu, self.params)
+        conn.attach("a", inbox)
+        self.created += 1
+        self.metrics.add(f"pool.{self.name}.created")
+        # TCP handshake: one round trip before the connection is usable.
+        yield self.sim.timeout(2 * conn.latency)
+        return conn, inbox
+
+    def checkin(self, thread: SimThread, shard_id: int,
+                pair: Tuple[Connection, InboxEndpoint]):
+        """Coroutine: return a pair to the free list."""
+        yield from locked_section(
+            thread, self.mutex, self.params.mutex_hold_time, "app")
+        self._free[shard_id].append(pair)
+
+    def sync_query(self, thread: SimThread, query: Query):
+        """Coroutine: the full synchronous RPC — checkout, send, block
+        for the response, checkin.  Returns the :class:`QueryResponse`."""
+        pair = yield from self.checkout(thread, query.shard_id)
+        conn, inbox = pair
+        yield thread.execute(self.params.fanout_send_cost, "app")
+        yield from conn.send(thread, query, query.wire_size, to_side="b")
+        response = yield from inbox.recv(thread)
+        if not isinstance(response, QueryResponse):
+            raise TypeError(f"unexpected message on sync connection: {response!r}")
+        yield from self.checkin(thread, query.shard_id, pair)
+        return response

@@ -1,0 +1,14 @@
+"""Experiment harness: configs, the runner, report rendering, and one
+module-level function per paper exhibit."""
+
+from .config import DATASTORE_KINDS, SERVER_KINDS, ExperimentConfig, ExperimentResult
+from .figures import EXHIBITS, ExhibitResult, run_exhibit
+from .report import normalize, render_series, render_table
+from .runner import PERCENTILES, build_params, run_experiment
+
+__all__ = [
+    "DATASTORE_KINDS", "SERVER_KINDS", "ExperimentConfig",
+    "ExperimentResult", "EXHIBITS", "ExhibitResult", "run_exhibit",
+    "normalize", "render_series", "render_table", "PERCENTILES",
+    "build_params", "run_experiment",
+]

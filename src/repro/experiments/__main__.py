@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — same as the ``repro-experiments``
+console script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Experiment configuration and result records.
+
+A :class:`ExperimentConfig` fully describes one simulated run: which
+server architecture, which datastore family, which workload, and every
+parameter override.  :func:`repro.experiments.runner.run_experiment`
+turns one into an :class:`ExperimentResult` with every measurement the
+paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "SERVER_KINDS",
+           "DATASTORE_KINDS"]
+
+#: Server architectures the runner can build.
+SERVER_KINDS = ("threadbased", "type1", "aio", "netty", "doubleface",
+                "doubleface-fifo")
+
+#: Datastore families.  They differ only in what the paper's testbed
+#: differed in: DynamoDB is the remote (Amazon) cluster, HBase's
+#: column-oriented reads are slightly slower per point lookup.
+DATASTORE_KINDS = ("mongodb", "hbase", "dynamodb")
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulated experiment."""
+
+    server: str = "doubleface"
+    datastore: str = "mongodb"
+    n_shards: int = 20
+    fanout: int = 5
+    response_size: int = 100
+    #: "closed" (JMeter) or "open" (RUBBoS/Poisson).
+    workload: str = "closed"
+    concurrency: int = 20          # closed-loop users
+    users: int = 100               # open-loop users
+    think_time: float = 1.0        # open-loop mean think time [s]
+    lfan: Optional[int] = None     # enable the Lfan/Sfan mix when set
+    sfan: Optional[int] = None
+    warmup: float = 0.3
+    duration: float = 1.0
+    seed: int = 42
+    backend_reactors: int = 2      # NettyBackend only
+    #: DoubleFaceAD reactor count: one per core (the paper's N-copy
+    #: rule), matching the default 2-core cost model.
+    reactors: int = 2              # DoubleFaceAD only
+    type1_pool_size: Optional[int] = None
+    aio_pool_max: Optional[int] = None
+    large_shards: bool = False
+    #: CostParams field overrides (e.g. {"request_cpu": 3e-3}).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Sample the runnable-thread count every this many seconds
+    #: (0 disables the sampler).
+    thread_sample_period: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.server not in SERVER_KINDS:
+            raise ValueError(f"unknown server kind {self.server!r}")
+        if self.datastore not in DATASTORE_KINDS:
+            raise ValueError(f"unknown datastore kind {self.datastore!r}")
+        if self.workload not in ("closed", "open"):
+            raise ValueError(f"unknown workload kind {self.workload!r}")
+        if self.fanout > self.n_shards:
+            raise ValueError("fanout cannot exceed shard count")
+        if (self.lfan is None) != (self.sfan is None):
+            raise ValueError("lfan and sfan must be set together")
+        if self.duration <= 0 or self.warmup < 0:
+            raise ValueError("bad warmup/duration")
+        if not self.label:
+            self.label = self.server
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run measured (paper-table vocabulary)."""
+
+    config: ExperimentConfig
+    #: Completed requests per second (client-side).
+    throughput: float
+    #: Client response-time percentiles [s]: {50: ..., 90: ..., 99: ...}.
+    percentiles: Dict[float, float]
+    #: Per-class percentiles: {"Lfan": {99: ...}, ...}.
+    class_percentiles: Dict[str, Dict[float, float]]
+    mean_rt: float
+    #: App-server CPU utilisation over the window (0..1).
+    cpu_utilization: float
+    #: Share of busy CPU per category (lock, thread_init, select, ...).
+    cpu_shares: Dict[str, float]
+    #: Context switches per second on the app CPU.
+    ctx_switches_per_sec: float
+    #: Time-averaged runnable+running thread count.
+    avg_running_threads: float
+    #: Per-selector stats dicts (selects, events, spurious, ...).
+    selector_stats: List[Dict[str, Any]]
+    #: select() calls per second, all selectors.
+    selects_per_sec: float
+    #: Share of busy CPU spent in select() (Table 2's row).
+    select_cpu_share: float
+    #: On-demand pool spawns in the window (AIO only).
+    pool_spawns: float
+    #: Runnable-thread samples [(t, n)] when sampling was enabled.
+    thread_samples: List
+    #: Completed requests in the window.
+    completed: float
+    #: Window length [s].
+    window: float
+
+    def percentile(self, q: float) -> float:
+        return self.percentiles[q]

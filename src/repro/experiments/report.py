@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints its exhibit through these helpers so the output
+matches the paper's presentation: throughput-vs-concurrency series
+(figures), normalized-throughput bars, percentile-response-time curves,
+and the perf-style breakdown tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "fmt", "normalize"]
+
+
+def fmt(value, width: int = 10, digits: int = 2) -> str:
+    """Format one cell: numbers right-aligned, NaN as '-'."""
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-".rjust(width)
+        if value == int(value) and abs(value) < 1e9 and digits == 0:
+            return f"{int(value)}".rjust(width)
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence], widths: Optional[List[int]] = None
+                 ) -> str:
+    """An aligned ASCII table with a title rule."""
+    rows = [list(r) for r in rows]
+    if widths is None:
+        widths = []
+        for col in range(len(headers)):
+            cells = [str(headers[col])] + [
+                _plain(row[col]) for row in rows if col < len(row)]
+            widths.append(max(len(c) for c in cells) + 2)
+    lines = [title, "=" * len(title)]
+    lines.append("".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("".join(_plain(cell).rjust(w)
+                             for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _plain(cell) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: Dict[str, Sequence[float]]) -> str:
+    """A figure as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def normalize(series: Dict[str, Sequence[float]], baseline: str
+              ) -> Dict[str, List[float]]:
+    """Normalize every curve point-wise to the *baseline* curve
+    (the paper's Figures 7 and 13 presentation)."""
+    if baseline not in series:
+        raise KeyError(f"baseline {baseline!r} not in series")
+    base = series[baseline]
+    out: Dict[str, List[float]] = {}
+    for name, values in series.items():
+        out[name] = [
+            (v / b) if b else float("nan")
+            for v, b in zip(values, base)
+        ]
+    return out

@@ -1,0 +1,172 @@
+"""Build and run one experiment: topology, workload, measurement.
+
+``run_experiment`` is the single entry point used by every benchmark,
+example, and test that wants a complete simulated run.  The flow:
+
+1. Build the cost model (datastore-family tweaks + per-config overrides).
+2. Build the cluster, the chosen server architecture, and the workload.
+3. Run the warm-up period, mark the measurement window, run the window.
+4. Collect every metric the paper's tables and figures need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.doubleface import DoubleFaceServer
+from ..core.scheduling import FanoutAwareScheduler, FifoScheduler
+from ..datastore.cluster import DatastoreCluster
+from ..drivers.aio_backend import AioBackendServer
+from ..drivers.netty_backend import NettyBackendServer
+from ..drivers.threadbased import ThreadBasedServer
+from ..drivers.type1 import Type1AsyncServer
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.params import CostParams
+from ..sim.rng import RngStreams
+from ..workload.closed_loop import ClosedLoopWorkload
+from ..workload.open_loop import PoissonWorkload
+from ..workload.profiles import lfan_sfan_profile, uniform_profile
+from .config import ExperimentConfig, ExperimentResult
+
+__all__ = ["run_experiment", "build_params", "PERCENTILES"]
+
+#: Percentiles every result reports.
+PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0, 99.9)
+
+
+def build_params(config: ExperimentConfig) -> CostParams:
+    """Cost model for *config*: datastore-family presets + overrides."""
+    params = CostParams()
+    overrides: Dict = {}
+    if config.datastore == "hbase":
+        # HBase point reads traverse more layers (HFile blocks, region
+        # server) than MongoDB's in-memory b-tree: slightly slower.
+        overrides["point_lookup_mean"] = params.point_lookup_mean * 1.3
+    if config.type1_pool_size is not None:
+        overrides["type1_pool_size"] = config.type1_pool_size
+    if config.aio_pool_max is not None:
+        overrides["aio_pool_max"] = config.aio_pool_max
+    overrides.update(config.params)
+    if overrides:
+        params = params.with_overrides(**overrides)
+    return params
+
+
+def _build_server(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
+                  params: CostParams, cluster: DatastoreCluster,
+                  rng: RngStreams):
+    kind = config.server
+    if kind == "threadbased":
+        return ThreadBasedServer(sim, metrics, params, cluster, rng)
+    if kind == "type1":
+        return Type1AsyncServer(sim, metrics, params, cluster, rng)
+    if kind == "aio":
+        return AioBackendServer(sim, metrics, params, cluster, rng)
+    if kind == "netty":
+        return NettyBackendServer(sim, metrics, params, cluster, rng,
+                                  backend_reactors=config.backend_reactors)
+    if kind == "doubleface":
+        return DoubleFaceServer(sim, metrics, params, cluster, rng,
+                                reactors=config.reactors,
+                                scheduler=FanoutAwareScheduler())
+    if kind == "doubleface-fifo":
+        return DoubleFaceServer(sim, metrics, params, cluster, rng,
+                                reactors=config.reactors,
+                                scheduler=FifoScheduler())
+    raise ValueError(f"unknown server kind {kind!r}")
+
+
+def _build_profile(config: ExperimentConfig):
+    if config.lfan is not None and config.sfan is not None:
+        return lfan_sfan_profile(config.lfan, config.sfan,
+                                 config.response_size)
+    return uniform_profile(config.fanout, config.response_size)
+
+
+def _thread_sampler(sim: Simulator, cpu, metrics: Metrics, period: float):
+    series = metrics.timeseries("cpu.runnable")
+    while True:
+        yield sim.timeout(period)
+        series.append(sim.now, cpu.runnable_count)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one configured experiment and return its measurements."""
+    sim = Simulator()
+    metrics = Metrics()
+    params = build_params(config)
+    rng = RngStreams(config.seed)
+    cluster = DatastoreCluster(
+        sim, metrics, params, rng, n_shards=config.n_shards,
+        large_shards=config.large_shards,
+        remote=(config.datastore == "dynamodb"),
+        name=config.datastore)
+    server = _build_server(config, sim, metrics, params, cluster, rng)
+    profile = _build_profile(config)
+    if config.workload == "closed":
+        workload = ClosedLoopWorkload(
+            sim, metrics, params, server, profile, config.concurrency, rng)
+    else:
+        workload = PoissonWorkload(
+            sim, metrics, params, server, profile, config.users,
+            config.think_time, rng)
+    server.start()
+    workload.start()
+    if config.thread_sample_period > 0:
+        sim.process(_thread_sampler(sim, server.cpu, metrics,
+                                    config.thread_sample_period),
+                    name="thread-sampler")
+
+    # Warm-up, then the measurement window.
+    sim.run(until=config.warmup)
+    metrics.mark_window_start(sim.now)
+    load_start = server.cpu.load_snapshot()
+    sim.run(until=config.warmup + config.duration)
+    load_end = server.cpu.load_snapshot()
+
+    return _collect(config, sim, metrics, server, load_end - load_start)
+
+
+def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
+             server, load_integral: float) -> ExperimentResult:
+    now = sim.now
+    window = config.duration
+    rt = metrics.latency("client.rt")
+    percentiles = {q: rt.percentile(q) for q in PERCENTILES}
+    class_percentiles: Dict[str, Dict[float, float]] = {}
+    for name, recorder in metrics.latencies.items():
+        if name.startswith("client.rt.") and len(recorder) > 0:
+            klass = name[len("client.rt."):]
+            class_percentiles[klass] = {
+                q: recorder.percentile(q) for q in PERCENTILES}
+
+    selector_stats: List[Dict] = [s.stats() for s in server.selectors()]
+    total_selects = sum(s["selects"] for s in selector_stats)
+    samples = []
+    if "cpu.runnable" in metrics.series:
+        samples = metrics.series["cpu.runnable"].window(
+            metrics.window_start, now)
+
+    return ExperimentResult(
+        config=config,
+        throughput=metrics.rate("client.completed", now),
+        percentiles=percentiles,
+        class_percentiles=class_percentiles,
+        mean_rt=rt.mean(),
+        cpu_utilization=server.cpu.utilization(),
+        cpu_shares={cat: metrics.cpu.category_share(cat)
+                    for cat in ("app", "lock", "thread_init", "select",
+                                "syscall", "ctx_switch")},
+        ctx_switches_per_sec=metrics.count("cpu.app.ctx_switches") / window,
+        avg_running_threads=load_integral / window,
+        selector_stats=selector_stats,
+        selects_per_sec=total_selects / window,
+        select_cpu_share=metrics.cpu.category_share("select"),
+        pool_spawns=sum(v for k, v in
+                        ((k, metrics.count(k)) for k in list(metrics.counters))
+                        if k.startswith("pool.") and k.endswith(".spawned")),
+        thread_samples=samples,
+        completed=metrics.count("client.completed"),
+        window=window,
+    )

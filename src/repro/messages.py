@@ -1,0 +1,103 @@
+"""Message types exchanged between clients, servers, and datastores.
+
+These are plain dataclasses; "serialisation" in the simulation is the
+``wire_size`` each message reports.  Keeping every message type in one
+module gives the drivers, the workload generators, and the datastore a
+single shared vocabulary with no import cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "Query",
+    "QueryResponse",
+    "request_ids",
+]
+
+#: Global request-id source (reset per simulation is unnecessary:
+#: uniqueness is all that matters).
+request_ids = itertools.count(1)
+
+
+@dataclass
+class HttpRequest:
+    """An upstream client request that triggers fanout queries.
+
+    ``fanout`` is the number of shards queried; ``response_size`` is the
+    per-fanout-query payload the datastore returns (the paper's
+    0.1 kB / 1 kB / 20 kB classes); ``klass`` tags the request class for
+    per-class latency reporting (``"Lfan"`` / ``"Sfan"``).
+    """
+
+    fanout: int
+    response_size: int
+    klass: str = "default"
+    request_id: int = field(default_factory=lambda: next(request_ids))
+    #: Set by the client at send time (simulated seconds).
+    sent_at: float = 0.0
+    #: Opaque client context used to route the response back.
+    reply_to: Any = None
+    #: Optional explicit keys, one per fanout query (dataset-driven runs).
+    keys: Optional[List[Any]] = None
+
+    @property
+    def wire_size(self) -> int:
+        return 300
+
+
+@dataclass
+class HttpResponse:
+    """The assembled reply to an :class:`HttpRequest`."""
+
+    request_id: int
+    payload_size: int
+    klass: str = "default"
+    completed_at: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return self.payload_size + 160
+
+
+@dataclass
+class Query:
+    """One fanout query to a datastore shard."""
+
+    request_id: int
+    shard_id: int
+    op: str  # "get" | "scan"
+    response_size: int
+    key: Any = None
+    #: Index of this query within its request's fanout set.
+    seq: int = 0
+    #: Opaque driver context used to correlate the response.
+    context: Any = None
+
+    @property
+    def wire_size(self) -> int:
+        return 180
+
+
+@dataclass
+class QueryResponse:
+    """A shard's reply to a :class:`Query`."""
+
+    request_id: int
+    shard_id: int
+    payload_size: int
+    seq: int = 0
+    context: Any = None
+    #: Records returned (populated only for materialised datasets).
+    records: Optional[List[Tuple[Any, Dict[str, bytes]]]] = None
+    #: Shard-side service time, for diagnostics.
+    service_time: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return self.payload_size + 90

@@ -1,0 +1,278 @@
+"""CPU cores, run queues, and context-switch accounting.
+
+The application server's performance effects in the paper — collapse of
+thread-based drivers under concurrency, lock/wake-up storms, spurious
+``select()`` overhead — are all *CPU contention* effects.  This module
+models a node's cores explicitly, with Linux-like semantics:
+
+- Threads submit *work requests* (``execute(thread, amount, category)``).
+- A thread that finishes one work request and immediately issues another
+  (same simulation instant) **keeps its core** — threads run until they
+  block or exhaust the scheduler quantum, they are not round-robined per
+  micro-operation.
+- Switching a core between two distinct threads costs
+  :attr:`CostParams.ctx_switch_cost` (charged to the ``ctx_switch`` CPU
+  category and counted in ``cpu.<name>.ctx_switches``).
+- Runnable threads beyond the core count wait in a FIFO run queue; the
+  time-weighted runnable count gives Table 1's "concurrent running
+  threads" and Figure 9's timeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .kernel import Event, Simulator
+from .metrics import Metrics
+from .params import CostParams
+
+__all__ = ["Cpu"]
+
+#: Remaining-work amounts below this are treated as complete (avoids
+#: floating-point dust creating extra slices).
+_EPSILON = 1.0e-12
+
+
+class _Job:
+    __slots__ = ("remaining", "done", "category", "total", "preempted_at_busy")
+
+    def __init__(self, remaining: float, done: Event, category: str) -> None:
+        self.remaining = remaining
+        self.done = done
+        self.category = category
+        self.total = remaining
+        #: Machine-busy-time stamp of the preemption, or None while the
+        #: job's cache state is intact.
+        self.preempted_at_busy = None
+
+
+class _ThreadState:
+    """Scheduler-side state of one thread."""
+
+    __slots__ = ("thread", "jobs", "queued", "running_on", "last_core")
+
+    def __init__(self, thread) -> None:
+        self.thread = thread
+        self.jobs: Deque[_Job] = deque()
+        #: True while sitting in the run queue.
+        self.queued = False
+        #: The core currently running this thread, if any.
+        self.running_on: Optional["_Core"] = None
+        #: Core this thread last ran on (scheduler affinity hint).
+        self.last_core: Optional["_Core"] = None
+
+    @property
+    def runnable(self) -> bool:
+        return bool(self.jobs)
+
+
+class _Core:
+    __slots__ = ("index", "last_thread", "current", "stint_used")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: Thread that last ran here (for context-switch accounting).
+        self.last_thread = None
+        #: ThreadState currently scheduled on this core.
+        self.current: Optional[_ThreadState] = None
+        #: CPU time this thread has used in its current stint.
+        self.stint_used = 0.0
+
+
+class Cpu:
+    """A multi-core processor with a shared FIFO run queue."""
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 cores: Optional[int] = None, name: str = "app") -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.name = name
+        n_cores = cores if cores is not None else params.app_cores
+        if n_cores < 1:
+            raise ValueError("a CPU needs at least one core")
+        self.cores: List[_Core] = [_Core(i) for i in range(n_cores)]
+        self._idle: Deque[_Core] = deque(self.cores)
+        self._run_queue: Deque[_ThreadState] = deque()
+        self._states: Dict[int, _ThreadState] = {}
+        # Time-weighted load tracking (runnable + running threads).
+        self._load_integral = 0.0
+        self._load_last_t = 0.0
+        self._load_current = 0
+
+    # -- load bookkeeping -------------------------------------------------
+
+    @property
+    def runnable_count(self) -> int:
+        """Threads currently runnable or running (Fig. 9 metric)."""
+        return self._load_current
+
+    def _load_delta(self, delta: int) -> None:
+        now = self.sim.now
+        self._load_integral += self._load_current * (now - self._load_last_t)
+        self._load_last_t = now
+        self._load_current += delta
+
+    def load_snapshot(self) -> float:
+        """Load integral up to now (for windowed averages)."""
+        return self._load_integral + self._load_current * (
+            self.sim.now - self._load_last_t)
+
+    def utilization(self) -> float:
+        """Windowed utilisation of this CPU's cores (0..1)."""
+        return self.metrics.cpu.utilization(self.sim.now, len(self.cores))
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, thread, amount: float, category: str = "app") -> Event:
+        """Request *amount* seconds of CPU for *thread*.
+
+        Returns an event that triggers when the work has been executed.
+        """
+        if amount < 0:
+            raise ValueError("cannot execute negative work")
+        done = Event(self.sim)
+        state = self._states.get(thread.tid)
+        if state is None:
+            state = _ThreadState(thread)
+            self._states[thread.tid] = state
+        was_runnable = state.runnable
+        state.jobs.append(_Job(amount, done, category))
+        if not was_runnable:
+            self._load_delta(+1)
+            # Thread just became runnable.  If it is mid-decision on a
+            # core (same-instant continuation) the core picks it up in
+            # _decide; otherwise enqueue or dispatch now.
+            if state.running_on is None and not state.queued:
+                if self._idle:
+                    # Wake-up affinity: prefer the core this thread last
+                    # ran on (its cache lines may still be warm there).
+                    core = state.last_core
+                    if core is not None and core in self._idle:
+                        self._idle.remove(core)
+                    else:
+                        core = self._idle.popleft()
+                    self._start_stint(core, state)
+                else:
+                    state.queued = True
+                    self._run_queue.append(state)
+        return done
+
+    # -- core machinery ----------------------------------------------------
+
+    def _start_stint(self, core: _Core, state: _ThreadState) -> None:
+        core.current = state
+        core.stint_used = 0.0
+        state.running_on = core
+        state.last_core = core
+        overhead = 0.0
+        if core.last_thread is not None and core.last_thread is not state.thread:
+            # Direct cost plus the indirect cache/TLB refill cost, which
+            # grows with the number of threads sharing the caches.
+            pressure = min(1.0, self._load_current / self.params.ctx_cache_threads)
+            overhead = (self.params.ctx_switch_cost
+                        + self.params.ctx_cache_penalty * pressure)
+            job = state.jobs[0]
+            if job.preempted_at_busy is not None:
+                # Resuming a half-done job: refill its working set.  The
+                # refill is proportional to the work already performed
+                # (capped by the cache size), scaled by how much *other*
+                # work ran in between — a brief interruption evicts
+                # little, a long wait behind many fat threads evicts
+                # everything.  Reactor threads that run jobs to
+                # completion on warm caches never pay this.
+                consumed = min(job.total - job.remaining,
+                               self.params.resume_reload_cap)
+                other_work = (self.metrics.cpu.total_busy_ever
+                              - job.preempted_at_busy)
+                evicted = min(1.0, other_work / self.params.resume_reload_cap)
+                overhead += (self.params.resume_reload_fraction
+                             * consumed * evicted)
+                job.preempted_at_busy = None
+            self.metrics.add(f"cpu.{self.name}.ctx_switches")
+            self.metrics.cpu.charge("ctx_switch", overhead)
+        core.last_thread = state.thread
+        self._run_slice(core, state, overhead)
+
+    def _run_slice(self, core: _Core, state: _ThreadState,
+                   extra_delay: float = 0.0) -> None:
+        job = state.jobs[0]
+        quantum_left = self.params.quantum - core.stint_used
+        slice_len = min(job.remaining, max(quantum_left, 0.0))
+        if slice_len <= 0.0:
+            slice_len = min(job.remaining, self.params.quantum)
+            core.stint_used = 0.0  # fresh stint after forced preemption
+        timer = self.sim.timeout(extra_delay + slice_len)
+        timer.add_callback(lambda _ev: self._slice_done(core, state, job,
+                                                        slice_len))
+
+    def _slice_done(self, core: _Core, state: _ThreadState, job: _Job,
+                    slice_len: float) -> None:
+        self.metrics.cpu.charge(job.category, slice_len)
+        core.stint_used += slice_len
+        job.remaining -= slice_len
+        if job.remaining > _EPSILON:
+            # Quantum expired mid-job: preempt if someone is waiting.
+            if self._run_queue:
+                self._preempt(core, state)
+            else:
+                core.stint_used = 0.0
+                self._run_slice(core, state)
+            return
+        # Job complete: let the owning process react (it may immediately
+        # issue the next work request), then decide what this core does.
+        state.jobs.popleft()
+        if not state.jobs:
+            self._load_delta(-1)
+        job.done.succeed()
+        decide = self.sim.timeout(0.0)
+        decide.add_callback(lambda _ev: self._decide(core, state))
+
+    def _preempt(self, core: _Core, state: _ThreadState) -> None:
+        state.running_on = None
+        state.queued = True
+        if state.jobs:
+            # The in-progress job may lose its cache lines to whoever
+            # runs next; it pays a refill when resumed.
+            state.jobs[0].preempted_at_busy = self.metrics.cpu.total_busy_ever
+        self._run_queue.append(state)
+        self._next_thread(core)
+
+    def _decide(self, core: _Core, state: _ThreadState) -> None:
+        if state.runnable:
+            # The thread continued (issued more work in the same instant).
+            if core.stint_used < self.params.quantum or not self._run_queue:
+                self._run_slice(core, state)
+            else:
+                self._preempt(core, state)
+            return
+        # The thread blocked or finished: release the core.
+        state.running_on = None
+        self._next_thread(core)
+
+    def _next_thread(self, core: _Core) -> None:
+        # Prefer, among the first few queued threads, one that last ran
+        # on this core (bounded scan keeps dispatch O(1)).  Threads that
+        # never ran, or whose warm core is this one, are never skipped —
+        # affinity must not defeat round-robin fairness.
+        queue = self._run_queue
+        for offset in range(min(len(queue), 4)):
+            state = queue[offset]
+            if not state.runnable:
+                continue
+            if state.last_core is core:
+                del queue[offset]
+                state.queued = False
+                self._start_stint(core, state)
+                return
+            if state.last_core is None:
+                break
+        while queue:
+            state = queue.popleft()
+            state.queued = False
+            if state.runnable:
+                self._start_stint(core, state)
+                return
+        core.current = None
+        self._idle.append(core)

@@ -1,0 +1,356 @@
+"""Discrete-event simulation kernel.
+
+This is the foundation of the whole reproduction: a small, fast,
+deterministic discrete-event simulator in the style of SimPy, built from
+scratch so the repository has no dependency beyond the standard library
+and numpy.
+
+The model is the classic *event / process* pair:
+
+- An :class:`Event` is a one-shot waitable cell.  It starts *pending*,
+  is *triggered* exactly once with either a value (``succeed``) or an
+  exception (``fail``), and then invokes its registered callbacks in
+  simulation-time order.
+
+- A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+  :class:`Event` objects; the process suspends until the yielded event
+  triggers and then resumes with the event's value (or the event's
+  exception is thrown into the generator).  Helper coroutines compose
+  with ``yield from``.
+
+All times are floats in **seconds** of simulated time.  The simulator is
+fully deterministic: ties in time are broken by a monotonically
+increasing sequence number, so two runs with the same seed produce
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+]
+
+#: Sentinel yielded value type for process generators.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (double trigger, bad yield, ...)."""
+
+
+class Event:
+    """A one-shot waitable occurrence in simulated time.
+
+    Events begin *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* the event: the event is placed on the simulator's heap at
+    the current simulation time and, when popped, runs its callbacks.
+
+    Callbacks receive the event itself; they read ``event.value`` (or
+    observe ``event.exception``).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        #: True once callbacks have run.
+        self.processed = False
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (None until triggered)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, if any."""
+        return self._exception
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self.triggered and self._exception is None
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into their generator.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exception = exception
+        self.sim._schedule(0.0, self)
+        return self
+
+    # -- internal ------------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback*; runs immediately if already processed."""
+        if self.callbacks is None:
+            # Already processed: run at once (still at the same sim time).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.triggered = True
+        self._value = value
+        sim._schedule(delay, self)
+
+
+class Process(Event):
+    """Drives a generator, suspending on each yielded :class:`Event`.
+
+    A Process is itself an Event: it triggers when the generator returns
+    (value = generator return value) or raises (event fails), so
+    processes can wait on other processes.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001
+            if self.callbacks:
+                # Someone is waiting on this process: deliver the failure.
+                self.fail(exc)
+                return
+            # Unobserved failure: crash the simulation loudly rather than
+            # letting a dead server thread look like zero throughput.
+            raise
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+            self.generator.close()
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise exc
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} alive={self.is_alive}>"
+
+
+class AnyOf(Event):
+    """Triggers when the first of *events* triggers.
+
+    The value is the (event, value) pair of the winner.  Late triggers of
+    the remaining events are ignored.
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._done = False
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((event, event._value))
+
+
+class AllOf(Event):
+    """Triggers when every one of *events* has triggered.
+
+    The value is the list of child values in the original order.  If any
+    child fails, this event fails with the first failure.
+    """
+
+    __slots__ = ("_events", "_remaining", "_failed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        self._failed = False
+        if not self._events:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._failed:
+            return
+        if event._exception is not None:
+            self._failed = True
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self._events])
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events.
+
+    Usage::
+
+        sim = Simulator()
+        sim.process(some_generator_function(sim))
+        sim.run(until=10.0)
+    """
+
+    __slots__ = ("_heap", "_seq", "now", "_event_count")
+
+    def __init__(self) -> None:
+        self._heap: List[Any] = []
+        self._seq = 0
+        #: Current simulation time in seconds.
+        self.now = 0.0
+        #: Total number of events processed (for diagnostics).
+        self._event_count = 0
+
+    # -- factory helpers ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start driving *generator* as a process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering on the first of *events*."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering once all *events* have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the single next event; return False if none remain."""
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        self._event_count += 1
+        event._run_callbacks()
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches *until*.
+
+        When *until* is given, ``now`` is advanced to exactly *until*
+        even if the last event fired earlier, so measurement windows have
+        a precise width.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        heap = self._heap
+        while heap and heap[0][0] <= until:
+            when, _seq, event = heapq.heappop(heap)
+            self.now = when
+            self._event_count += 1
+            event._run_callbacks()
+        self.now = until

@@ -1,0 +1,228 @@
+"""Measurement infrastructure: counters, CPU accounting, latency
+recorders, and time series.
+
+A single :class:`Metrics` object is shared by every component of a
+simulation run.  Components record into namespaced keys
+(``"selector.frontend.selects"``, ``"cpu.ctx_switches"``, ...); the
+experiment harness reads them back to build the paper's tables.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Metrics", "LatencyRecorder", "TimeSeries", "CpuAccounting"]
+
+
+class LatencyRecorder:
+    """Collects latency samples and answers percentile queries.
+
+    Samples recorded before ``start_at`` (the measurement-window start,
+    set by the harness after warm-up) are discarded at query time.
+    """
+
+    __slots__ = ("_samples", "start_at")
+
+    def __init__(self) -> None:
+        self._samples: List[Tuple[float, float]] = []
+        self.start_at = 0.0
+
+    def record(self, now: float, value: float) -> None:
+        """Record *value* observed at simulated time *now*."""
+        self._samples.append((now, value))
+
+    def _windowed(self) -> List[float]:
+        return [v for (t, v) in self._samples if t >= self.start_at]
+
+    def __len__(self) -> int:
+        return len(self._windowed())
+
+    @property
+    def raw_count(self) -> int:
+        """All samples ever recorded, including warm-up."""
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0..100) using linear interpolation."""
+        values = sorted(self._windowed())
+        if not values:
+            return math.nan
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(values) - 1)
+        frac = rank - low
+        # This form is exact when neighbours are equal, keeping the
+        # percentile function monotone under float rounding.
+        return values[low] + frac * (values[high] - values[low])
+
+    def mean(self) -> float:
+        """Arithmetic mean of windowed samples (NaN when empty)."""
+        values = self._windowed()
+        if not values:
+            return math.nan
+        return sum(values) / len(values)
+
+    def maximum(self) -> float:
+        values = self._windowed()
+        return max(values) if values else math.nan
+
+    def cdf_points(self, percentiles: Iterable[float]) -> List[Tuple[float, float]]:
+        """(percentile, value) pairs — one row per requested percentile."""
+        return [(q, self.percentile(q)) for q in percentiles]
+
+
+class TimeSeries:
+    """Append-only (time, value) series, e.g. running-thread counts."""
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, now: float, value: float) -> None:
+        if self._times and now < self._times[-1]:
+            raise ValueError("time series must be appended in time order")
+        self._times.append(now)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def items(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Samples with start <= t < end."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def mean(self, start: float = 0.0, end: float = math.inf) -> float:
+        pairs = self.window(start, end)
+        if not pairs:
+            return math.nan
+        return sum(v for (_t, v) in pairs) / len(pairs)
+
+
+class CpuAccounting:
+    """Tracks busy time per CPU-work category.
+
+    Categories mirror the paper's perf breakdown: ``app`` (useful work),
+    ``lock`` (futex), ``thread_init``, ``select``, ``syscall`` (send/recv),
+    ``ctx_switch``.  ``window_start`` is set by the harness after
+    warm-up so utilisation reflects only the measurement window.
+    """
+
+    __slots__ = ("busy_by_category", "window_start", "_warmup_by_category",
+                 "total_busy_ever")
+
+    def __init__(self) -> None:
+        self.busy_by_category: Dict[str, float] = defaultdict(float)
+        self._warmup_by_category: Dict[str, float] = {}
+        self.window_start = 0.0
+        #: Running total of all busy time ever charged (cheap monotonic
+        #: clock of "work done by the machine", used by the cache model).
+        self.total_busy_ever = 0.0
+
+    def charge(self, category: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot charge negative CPU time")
+        self.busy_by_category[category] += amount
+        self.total_busy_ever += amount
+
+    def mark_window_start(self, now: float) -> None:
+        """Freeze warm-up totals; subsequent queries subtract them."""
+        self.window_start = now
+        self._warmup_by_category = dict(self.busy_by_category)
+
+    def windowed(self) -> Dict[str, float]:
+        """Busy seconds per category inside the measurement window."""
+        return {
+            cat: total - self._warmup_by_category.get(cat, 0.0)
+            for cat, total in self.busy_by_category.items()
+        }
+
+    def total_busy(self) -> float:
+        return sum(self.windowed().values())
+
+    def utilization(self, now: float, cores: int) -> float:
+        """Fraction of core-time busy over the measurement window."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.total_busy() / (elapsed * cores)
+
+    def category_share(self, category: str) -> float:
+        """Share of *busy* CPU spent in *category* (paper's perf rows)."""
+        total = self.total_busy()
+        if total <= 0:
+            return 0.0
+        return self.windowed().get(category, 0.0) / total
+
+
+class Metrics:
+    """Shared sink for every measurement a simulation produces."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self._warmup_counters: Dict[str, float] = {}
+        self.latencies: Dict[str, LatencyRecorder] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.cpu = CpuAccounting()
+        self.window_start = 0.0
+
+    # -- counters -------------------------------------------------------
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def count(self, name: str) -> float:
+        """Counter value within the measurement window."""
+        return self.counters.get(name, 0.0) - self._warmup_counters.get(name, 0.0)
+
+    def raw_count(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # -- latencies / series ----------------------------------------------
+
+    def latency(self, name: str) -> LatencyRecorder:
+        recorder = self.latencies.get(name)
+        if recorder is None:
+            recorder = LatencyRecorder()
+            recorder.start_at = self.window_start
+            self.latencies[name] = recorder
+        return recorder
+
+    def timeseries(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries()
+            self.series[name] = series
+        return series
+
+    # -- windowing --------------------------------------------------------
+
+    def mark_window_start(self, now: float) -> None:
+        """Called by the harness when warm-up ends."""
+        self.window_start = now
+        self._warmup_counters = dict(self.counters)
+        self.cpu.mark_window_start(now)
+        for recorder in self.latencies.values():
+            recorder.start_at = now
+
+    # -- derived ------------------------------------------------------------
+
+    def rate(self, name: str, now: float) -> float:
+        """Windowed counter divided by window length (events/second)."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.count(name) / elapsed

@@ -1,0 +1,155 @@
+"""Network links, connections, and endpoints.
+
+The network model is first-order: a message sent on a connection is
+delivered to the remote endpoint after ``latency + size/bandwidth``.
+That is all the studied phenomena require — every effect in the paper is
+on the application-server CPU, not in the network.
+
+Endpoints abstract *how the receiver learns about the message*:
+
+- :class:`ChannelEndpoint` feeds a reactor's :class:`~repro.sim.syscalls.Selector`
+  (asynchronous servers).
+- :class:`InboxEndpoint` feeds a blocking queue read by a dedicated
+  thread (thread-based servers, datastore shards).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from .cpu import Cpu
+from .kernel import Simulator
+from .metrics import Metrics
+from .params import CostParams
+from .resources import Queue
+from .syscalls import Channel
+from .threads import SimThread
+
+__all__ = ["Endpoint", "ChannelEndpoint", "QueueEndpoint", "InboxEndpoint", "Connection"]
+
+_conn_ids = itertools.count(1)
+
+
+class Endpoint:
+    """Where one side of a connection delivers inbound messages."""
+
+    def deliver(self, message: Any) -> None:
+        raise NotImplementedError
+
+
+class ChannelEndpoint(Endpoint):
+    """Delivers inbound messages as selector readiness events."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+
+    def deliver(self, message: Any) -> None:
+        self.channel.deliver(message)
+
+
+class QueueEndpoint(Endpoint):
+    """Delivers inbound messages to a plain queue with no CPU charge.
+
+    Used for nodes whose CPU is not modelled (the client machines of the
+    workload generator).
+    """
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: Queue) -> None:
+        self.queue = queue
+
+    def deliver(self, message: Any) -> None:
+        self.queue.put(message)
+
+
+class InboxEndpoint(Endpoint):
+    """Delivers inbound messages to a blocking FIFO inbox.
+
+    ``recv`` charges the reader the blocking-read syscall cost on
+    completion, modelling ``read()`` returning with data.
+    """
+
+    __slots__ = ("sim", "cpu", "params", "metrics", "queue")
+
+    def __init__(self, sim: Simulator, cpu: Cpu, params: CostParams,
+                 metrics: Optional[Metrics] = None) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.params = params
+        self.metrics = metrics if metrics is not None else cpu.metrics
+        self.queue = Queue(sim)
+
+    def deliver(self, message: Any) -> None:
+        self.queue.put(message)
+
+    def recv(self, thread: SimThread):
+        """Coroutine: block until a message arrives; returns it.
+
+        A read that actually blocked pays the park/unpark (futex) cost
+        on wake-up — the "Locking (mutex)" overhead perf attributes to
+        blocking sync drivers in the paper's Table 1.
+        """
+        get_event = self.queue.get()
+        blocked = not get_event.triggered
+        message = yield get_event
+        if blocked:
+            self.metrics.add("net.blocking_recv_wakes")
+            yield self.cpu.execute(thread, self.params.futex_cost, "lock")
+        yield self.cpu.execute(thread, self.params.recv_syscall_cost, "syscall")
+        return message
+
+
+class Connection:
+    """A bidirectional connection between two endpoints.
+
+    Each direction is independent; delivery time is
+    ``latency + size / bandwidth``.  ``send`` charges the sending thread
+    one write-syscall of CPU (category ``syscall``) — the per-message
+    kernel crossing the paper counts among driver overheads.
+    """
+
+    __slots__ = ("sim", "metrics", "params", "latency", "cid",
+                 "endpoint_a", "endpoint_b")
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 endpoint_a: Optional[Endpoint] = None,
+                 endpoint_b: Optional[Endpoint] = None,
+                 latency: Optional[float] = None) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.latency = latency if latency is not None else params.net_latency
+        self.cid = next(_conn_ids)
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+
+    def attach(self, side: str, endpoint: Endpoint) -> None:
+        """Attach *endpoint* to side ``"a"`` or ``"b"``."""
+        if side == "a":
+            self.endpoint_a = endpoint
+        elif side == "b":
+            self.endpoint_b = endpoint
+        else:
+            raise ValueError(f"unknown connection side {side!r}")
+
+    def send(self, thread: Optional[SimThread], message: Any, size: int,
+             to_side: str):
+        """Coroutine: send *message* of *size* bytes toward *to_side*.
+
+        Pass ``thread=None`` to skip the sender CPU charge (used by the
+        workload generator, whose client machines are not modelled).
+        """
+        target = self.endpoint_b if to_side == "b" else self.endpoint_a
+        if target is None:
+            raise RuntimeError(f"connection {self.cid}: side {to_side} not attached")
+        if thread is not None:
+            yield thread.execute(self.params.send_syscall_cost, "syscall")
+        self.metrics.add("net.messages")
+        self.metrics.add("net.bytes", size)
+        delay = self.latency + self.params.transfer_time(size)
+        timer = self.sim.timeout(delay)
+        timer.add_callback(lambda _ev: target.deliver(message))

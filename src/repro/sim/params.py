@@ -1,0 +1,192 @@
+"""Calibrated cost model for the simulated testbed.
+
+All constants are in **seconds** (or bytes for sizes).  They were chosen
+so that absolute throughputs land in the same order of magnitude as the
+paper's testbed (Figs. 4-5: ~100 req/s at 20 kB responses, ~5 K req/s at
+0.1 kB) while keeping the *mechanisms* — context-switch cost, mutex
+wake-ups, select() syscalls, thread spawning — explicit and individually
+attributable, which is what the paper's perf tables break down.
+
+The defaults model a small (2-core) application-server node — the
+paper's perf tables (tens of concurrently running threads for AIO,
+CPU scarcity across Netty's 3-5 reactor threads in Table 3) are only
+consistent with a few cores — talking to 20 datastore shards over a
+1 Gbps LAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["CostParams", "KB"]
+
+#: One kilobyte, in bytes.
+KB = 1024
+
+
+@dataclass
+class CostParams:
+    """Every tunable cost in the simulation, with calibrated defaults."""
+
+    # --- CPU / scheduler -------------------------------------------------
+    #: Number of cores on the application-server node.  The paper's
+    #: perf evidence (Table 1: 22 concurrently running threads for the
+    #: AIO server; Table 3: CPU scarcity across 3-5 reactor threads)
+    #: indicates a small multicore app server; two cores reproduces the
+    #: paper's orderings best.
+    app_cores: int = 2
+    #: Scheduler time slice; a thread runs at most this long per dispatch.
+    quantum: float = 1.0e-3
+    #: Direct cost of switching a core between two distinct threads.
+    ctx_switch_cost: float = 1.2e-6
+    #: Indirect context-switch cost (cache/TLB refill) reached when the
+    #: runnable-thread population saturates the cache working set; the
+    #: mechanism behind thread-based collapse at high concurrency.
+    ctx_cache_penalty: float = 45.0e-6
+    #: Runnable-thread count at which the cache penalty saturates.
+    ctx_cache_threads: int = 600
+    #: When a thread is resumed after being preempted mid-job, it
+    #: refills the caches with its working set: the refill cost is this
+    #: fraction of the CPU time the job had already consumed...
+    resume_reload_fraction: float = 0.35
+    #: ...capped at this much consumed work (the working set cannot
+    #: exceed the cache).
+    resume_reload_cap: float = 2.0e-3
+    #: CPU charged (category ``thread_init``) when a pool spawns a thread.
+    thread_spawn_cost: float = 120.0e-6
+
+    # --- locking ----------------------------------------------------------
+    #: CPU charged (category ``lock``) on each side of a contended
+    #: mutex hand-off (futex wait + futex wake).
+    futex_cost: float = 4.0e-6
+    #: CPU cost of the atomic compare-and-swap every lock acquisition
+    #: performs before deciding whether to take the futex slow path.
+    cas_cost: float = 0.3e-6
+    #: Time a driver holds its connection-pool mutex per checkout/checkin
+    #: (free-list scan + bookkeeping).
+    mutex_hold_time: float = 3.0e-6
+    #: Time a worker pool holds its task-queue lock per submit/dequeue
+    #: (linked-queue pointer swing).
+    queue_hold_time: float = 0.8e-6
+    #: Allocations below this size are served from thread-local caches
+    #: (TLAB/magazine) and never touch the shared allocator lock.
+    alloc_tlab_threshold: int = 4096
+    #: Base hold time of the shared buffer-allocator lock (architectures
+    #: without per-thread arenas: thread-based, Type-1, Type-2b pools).
+    alloc_base_hold: float = 1.0e-6
+    #: Additional allocator hold per kB allocated.
+    alloc_per_kb_hold: float = 2.0e-6
+    #: Fraction of response processing that happens under the owning
+    #: connection's stream lock when *concurrent worker threads* decode
+    #: from shared multiplexed connections (Type-2b); reactor designs
+    #: serialise per-connection work on one thread and need no lock.
+    decode_lock_fraction: float = 0.5
+
+    # --- syscalls ----------------------------------------------------------
+    #: Base CPU cost of one select()/epoll_wait() call (Java NIO's
+    #: Selector.select carries selected-key set maintenance on top of
+    #: the raw epoll_wait).
+    select_base_cost: float = 18.0e-6
+    #: Additional CPU per readiness event returned by select().
+    select_per_event_cost: float = 0.5e-6
+    #: CPU cost of waking another reactor's selector (write to wakeup fd).
+    selector_wakeup_cost: float = 5.0e-6
+    #: CPU cost of one send()/write() syscall.
+    send_syscall_cost: float = 5.0e-6
+    #: CPU cost of one blocking recv()/read() syscall completion.
+    recv_syscall_cost: float = 4.0e-6
+    #: Poll interval of a Netty-style event loop when idle (ioRatio /
+    #: timer tick); Type-2a reactors re-select at least this often.
+    netty_select_timeout: float = 0.25e-3
+    #: Maximum readiness events a Netty-style loop consumes per select
+    #: cycle (the ioRatio=50 event/task alternation bounds its batches;
+    #: a blocking group selector like AIO's drains everything).
+    netty_select_max_batch: int = 8
+    #: Selectors that block indefinitely (AIO, DoubleFaceAD) pass None;
+    #: this is kept here for documentation purposes.
+
+    # --- application-server work ------------------------------------------
+    #: CPU to read + parse one upstream HTTP request.
+    http_parse_cost: float = 20.0e-6
+    #: CPU to build + send one fanout query (serialisation + write).
+    fanout_send_cost: float = 6.0e-6
+    #: Fixed CPU to handle one fanout response event (deserialise the
+    #: wire format, allocate/bookkeep, run the per-sub-result callback).
+    response_base_cost: float = 40.0e-6
+    #: CPU per kB of fanout-response payload (decode + copy).
+    response_per_kb_cost: float = 70.0e-6
+    #: Fixed CPU to assemble + send the final HTTP response.
+    assemble_base_cost: float = 15.0e-6
+    #: CPU per kB of assembled payload.
+    assemble_per_kb_cost: float = 6.0e-6
+    #: Extra per-request business-logic CPU (RUBBoS-style pages); the
+    #: JMeter stress workloads use 0.  This is the *mean*; see
+    #: ``request_cpu_cv``.
+    request_cpu: float = 0.0
+    #: Coefficient of variation of the business-logic CPU (RUBBoS page
+    #: costs are heavy-tailed: most pages are cheap, "view all" pages
+    #: are not).  0 makes the cost deterministic.
+    request_cpu_cv: float = 0.0
+
+    # --- network -------------------------------------------------------------
+    #: One-way propagation latency on the local testbed LAN.
+    net_latency: float = 60.0e-6
+    #: Link bandwidth in bytes/second (1 Gbps).
+    net_bandwidth: float = 125.0e6
+    #: Extra one-way latency to a *remote* datastore (Amazon DynamoDB in
+    #: the paper is the only remote cluster).
+    remote_extra_latency: float = 1.0e-3
+
+    # --- datastore service model ------------------------------------------
+    #: Mean service time of a point lookup on a 1 GB shard.
+    point_lookup_mean: float = 55.0e-6
+    #: Additional mean service time per kB scanned (large responses are
+    #: produced by scan queries in the paper's setup).
+    scan_per_kb: float = 18.0e-6
+    #: Coefficient of variation of datastore service times (the "variety
+    #: of each shard" that motivates the paper's scheduler).
+    service_cv: float = 0.55
+    #: Multiplier applied to service means for large (10 GB) shards; the
+    #: paper reports 0.12 ms -> 0.18 ms average response time.
+    large_shard_factor: float = 1.5
+    #: Range (low, high) of per-shard speed multipliers, modelling
+    #: heterogeneous shard servers.
+    shard_speed_spread: tuple = (0.9, 1.25)
+    #: Number of independent service contexts per shard server (a shard
+    #: can serve this many queries concurrently before queueing).
+    shard_concurrency: int = 4
+
+    # --- thread pools ---------------------------------------------------------
+    #: Size of the pre-defined pool used by Type-1 async drivers (the
+    #: pool must cover peak concurrency x fanout sync calls in flight).
+    type1_pool_size: int = 256
+    #: Max size of the on-demand JVM pool used by the Type-2b AIO driver.
+    aio_pool_max: int = 64
+    #: Idle time after which an on-demand worker terminates.
+    aio_pool_idle_timeout: float = 30.0e-3
+
+    # --- misc -------------------------------------------------------------------
+    #: Size of an upstream HTTP request on the wire.
+    request_size: int = 300
+    #: Size of a fanout query message on the wire.
+    query_size: int = 180
+
+    #: Free-form per-experiment annotations (kept for provenance).
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def with_overrides(self, **kwargs) -> "CostParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def response_process_cost(self, size_bytes: int) -> float:
+        """App-server CPU to process one fanout response of *size_bytes*."""
+        return self.response_base_cost + self.response_per_kb_cost * (size_bytes / KB)
+
+    def assemble_cost(self, total_bytes: int) -> float:
+        """App-server CPU to assemble the final response."""
+        return self.assemble_base_cost + self.assemble_per_kb_cost * (total_bytes / KB)
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Wire time for *size_bytes* at the modelled bandwidth."""
+        return size_bytes / self.net_bandwidth

@@ -1,0 +1,12 @@
+"""Workload generators: JMeter-style closed loop, RUBBoS-style Poisson
+open loop, and the request-mix profiles they draw from."""
+
+from .closed_loop import ClosedLoopWorkload
+from .open_loop import PoissonWorkload
+from .profiles import (RequestClass, WorkloadProfile, lfan_sfan_profile,
+                       uniform_profile)
+
+__all__ = [
+    "ClosedLoopWorkload", "PoissonWorkload", "RequestClass",
+    "WorkloadProfile", "lfan_sfan_profile", "uniform_profile",
+]

@@ -1,0 +1,79 @@
+"""JMeter-style closed-loop workload generator.
+
+The paper's stress tests use JMeter with one thread per simulated
+end-user: each user issues the next HTTP request *immediately* after
+receiving the previous response, so the number of users equals the
+workload concurrency exactly (Section 2.2).  Client machines are not
+modelled (JMeter ran on its own node), so client-side operations carry
+no CPU cost in the simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..drivers.base import AppServer
+from ..messages import HttpResponse
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.network import QueueEndpoint
+from ..sim.params import CostParams
+from ..sim.resources import Queue
+from ..sim.rng import RngStreams
+from .profiles import WorkloadProfile
+
+__all__ = ["ClosedLoopWorkload"]
+
+
+class ClosedLoopWorkload:
+    """*concurrency* users in lock-step request/response loops."""
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 server: AppServer, profile: WorkloadProfile,
+                 concurrency: int, rng_streams: RngStreams,
+                 name: str = "jmeter") -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.server = server
+        self.profile = profile
+        self.concurrency = concurrency
+        self.name = name
+        self._rng = rng_streams.stream(f"{name}.requests")
+        self.started = False
+
+    def start(self) -> None:
+        """Open one connection per user and launch the user loops."""
+        if self.started:
+            raise RuntimeError("workload already started")
+        self.started = True
+        for user_id in range(self.concurrency):
+            conn = self.server.accept_client()
+            inbox = Queue(self.sim)
+            conn.attach("a", QueueEndpoint(inbox))
+            self.sim.process(self._user_loop(user_id, conn, inbox),
+                             name=f"{self.name}-user-{user_id}")
+
+    def _user_loop(self, user_id: int, conn, inbox: Queue):
+        # Stagger the very first request of each user by a tiny random
+        # offset so the initial burst does not arrive at one instant.
+        yield self.sim.timeout(self._rng.random() * 1.0e-3)
+        while True:
+            request = self.profile.make_request(self._rng)
+            request.sent_at = self.sim.now
+            yield from conn.send(None, request, request.wire_size, to_side="b")
+            response = yield inbox.get()
+            if not isinstance(response, HttpResponse):
+                raise TypeError(f"client received non-response: {response!r}")
+            self._record(request, response)
+
+    def _record(self, request, response: HttpResponse) -> None:
+        now = self.sim.now
+        rt = now - request.sent_at
+        self.metrics.add("client.completed")
+        self.metrics.add(f"client.completed.{request.klass}")
+        self.metrics.latency("client.rt").record(now, rt)
+        self.metrics.latency(f"client.rt.{request.klass}").record(now, rt)

@@ -1,0 +1,84 @@
+"""RUBBoS-style open-loop (Poisson) workload generator.
+
+The paper's realistic-traffic experiments use the RUBBoS generator:
+the request rate follows a Poisson distribution with the mean
+determined by the number of emulated end-users (Section 6.1).  We model
+each user as think-time-driven — after receiving a response the user
+waits an exponentially distributed think time before the next request —
+which yields Poisson aggregate arrivals while retaining the per-user
+closed feedback RUBBoS has.
+"""
+
+from __future__ import annotations
+
+from ..drivers.base import AppServer
+from ..messages import HttpResponse
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.network import QueueEndpoint
+from ..sim.params import CostParams
+from ..sim.resources import Queue
+from ..sim.rng import RngStreams
+from .profiles import WorkloadProfile
+
+__all__ = ["PoissonWorkload"]
+
+
+class PoissonWorkload:
+    """*users* emulated browsers with exponential think times."""
+
+    def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
+                 server: AppServer, profile: WorkloadProfile,
+                 users: int, think_time_mean: float,
+                 rng_streams: RngStreams, name: str = "rubbos") -> None:
+        if users < 1:
+            raise ValueError("users must be >= 1")
+        if think_time_mean <= 0:
+            raise ValueError("think time must be positive")
+        self.sim = sim
+        self.metrics = metrics
+        self.params = params
+        self.server = server
+        self.profile = profile
+        self.users = users
+        self.think_time_mean = think_time_mean
+        self.name = name
+        self._rng = rng_streams.stream(f"{name}.requests")
+        self._think_rng = rng_streams.stream(f"{name}.think")
+        self.started = False
+
+    @property
+    def offered_rate(self) -> float:
+        """Approximate aggregate request rate (requests/second) when
+        response times are small relative to think times."""
+        return self.users / self.think_time_mean
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("workload already started")
+        self.started = True
+        for user_id in range(self.users):
+            conn = self.server.accept_client()
+            inbox = Queue(self.sim)
+            conn.attach("a", QueueEndpoint(inbox))
+            self.sim.process(self._user_loop(user_id, conn, inbox),
+                             name=f"{self.name}-user-{user_id}")
+
+    def _user_loop(self, user_id: int, conn, inbox: Queue):
+        # Desynchronise session starts across one full think period.
+        yield self.sim.timeout(self._think_rng.random() * self.think_time_mean)
+        while True:
+            request = self.profile.make_request(self._rng)
+            request.sent_at = self.sim.now
+            yield from conn.send(None, request, request.wire_size, to_side="b")
+            response = yield inbox.get()
+            if not isinstance(response, HttpResponse):
+                raise TypeError(f"client received non-response: {response!r}")
+            now = self.sim.now
+            rt = now - request.sent_at
+            self.metrics.add("client.completed")
+            self.metrics.add(f"client.completed.{request.klass}")
+            self.metrics.latency("client.rt").record(now, rt)
+            self.metrics.latency(f"client.rt.{request.klass}").record(now, rt)
+            yield self.sim.timeout(
+                self._think_rng.expovariate(1.0 / self.think_time_mean))

@@ -1,0 +1,107 @@
+"""Request-mix profiles.
+
+A profile describes what the clients ask for: the fanout factor(s), the
+per-fanout-query response size (the paper's 0.1 kB / 1 kB / 20 kB
+classes), and — for the tail-latency experiments — the request-class
+mix (``Lfan`` requests with a large fanout vs. ``Sfan`` requests with a
+small fanout, Section 6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..messages import HttpRequest
+from ..sim.params import KB
+
+__all__ = ["RequestClass", "WorkloadProfile", "uniform_profile",
+           "lfan_sfan_profile"]
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One class of requests in a mix."""
+
+    name: str
+    fanout: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass
+class WorkloadProfile:
+    """A weighted mix of request classes sharing one response size."""
+
+    classes: List[RequestClass]
+    response_size: int
+    #: Optional zero-arg key chooser (dataset-driven runs attach keys to
+    #: each fanout query so materialised shards return real records).
+    key_chooser: Optional[Callable[[], object]] = None
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("profile needs at least one request class")
+        if self.response_size < 1:
+            raise ValueError("response size must be >= 1 byte")
+        self._weights = [c.weight for c in self.classes]
+
+    @property
+    def max_fanout(self) -> int:
+        return max(c.fanout for c in self.classes)
+
+    @property
+    def mean_fanout(self) -> float:
+        total = sum(self._weights)
+        return sum(c.fanout * c.weight for c in self.classes) / total
+
+    def make_request(self, rng: random.Random) -> HttpRequest:
+        """Draw one request from the mix."""
+        if len(self.classes) == 1:
+            chosen = self.classes[0]
+        else:
+            chosen = rng.choices(self.classes, weights=self._weights, k=1)[0]
+        keys = None
+        if self.key_chooser is not None:
+            keys = [self.key_chooser() for _ in range(chosen.fanout)]
+        return HttpRequest(
+            fanout=chosen.fanout,
+            response_size=self.response_size,
+            klass=chosen.name,
+            keys=keys,
+        )
+
+
+def uniform_profile(fanout: int, response_size: int,
+                    key_chooser: Optional[Callable[[], object]] = None
+                    ) -> WorkloadProfile:
+    """Single-class profile (the JMeter stress workloads)."""
+    return WorkloadProfile(
+        classes=[RequestClass("default", fanout)],
+        response_size=response_size,
+        key_chooser=key_chooser,
+    )
+
+
+def lfan_sfan_profile(lfan: int, sfan: int, response_size: int,
+                      lfan_share: float = 0.5,
+                      key_chooser: Optional[Callable[[], object]] = None
+                      ) -> WorkloadProfile:
+    """The tail-latency mix: 50/50 Lfan and Sfan by default
+    (Section 6.1's scheduling experiments)."""
+    if not 0.0 < lfan_share < 1.0:
+        raise ValueError("lfan_share must be in (0, 1)")
+    return WorkloadProfile(
+        classes=[
+            RequestClass("Lfan", lfan, weight=lfan_share),
+            RequestClass("Sfan", sfan, weight=1.0 - lfan_share),
+        ],
+        response_size=response_size,
+        key_chooser=key_chooser,
+    )

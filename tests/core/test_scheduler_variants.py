@@ -1,0 +1,93 @@
+"""Tests for the ablation scheduler variants."""
+
+import pytest
+
+from repro.core.scheduling import (DeferIncompleteScheduler,
+                                   StableFanoutScheduler)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.messages import HttpRequest, QueryResponse
+from tests.core.test_scheduling import _State, request, response
+
+
+class TestStableFanoutScheduler:
+    def test_completable_first_without_sjf(self):
+        sched = StableFanoutScheduler()
+        big = _State(remaining=4)
+        small = _State(remaining=2)
+        # Big arrives first: stable variant keeps it ahead of small.
+        batch = [response(big)] * 4 + [response(small)] * 2
+        ordered = sched.order(batch)
+        assert [ev[1].context for ev in ordered[:4]] == [big] * 4
+
+    def test_incomplete_still_last(self):
+        sched = StableFanoutScheduler()
+        pending = _State(remaining=9)
+        done = _State(remaining=1)
+        ordered = sched.order([response(pending), response(done)])
+        assert ordered[0][1].context is done
+
+    def test_permutation(self):
+        sched = StableFanoutScheduler()
+        batch = [request(), response(_State(1)), response(_State(7))]
+        ordered = sched.order(list(batch))
+        assert sorted(id(m) for _c, m in ordered) == \
+               sorted(id(m) for _c, m in batch)
+
+
+class TestDeferIncompleteScheduler:
+    def test_incomplete_events_deferred(self):
+        sched = DeferIncompleteScheduler()
+        pending = _State(remaining=9)
+        done = _State(remaining=1)
+        batch = [response(pending), response(done), request()]
+        now = sched.order(batch)
+        deferred = sched.take_deferred()
+        assert [ev[1].context for ev in now
+                if isinstance(ev[1], QueryResponse)] == [done]
+        assert [ev[1].context for ev in deferred] == [pending]
+
+    def test_all_incomplete_batch_processed_anyway(self):
+        sched = DeferIncompleteScheduler()
+        pending = _State(remaining=9)
+        batch = [response(pending), response(pending)]
+        now = sched.order(batch)
+        assert len(now) == 2
+        assert sched.take_deferred() == []
+
+    def test_deferred_resets_between_batches(self):
+        sched = DeferIncompleteScheduler()
+        pending = _State(remaining=9)
+        sched.order([response(pending), request()])
+        assert len(sched.take_deferred()) == 1
+        assert sched.take_deferred() == []
+
+    def test_end_to_end_with_doubleface(self):
+        """The reactor loop re-queues deferred events and every request
+        still completes."""
+        from repro.core.doubleface import DoubleFaceServer
+        from repro.datastore.cluster import DatastoreCluster
+        from repro.sim.kernel import Simulator
+        from repro.sim.metrics import Metrics
+        from repro.sim.params import CostParams
+        from repro.sim.rng import RngStreams
+        from repro.workload.closed_loop import ClosedLoopWorkload
+        from repro.workload.profiles import uniform_profile
+
+        sim = Simulator()
+        metrics = Metrics()
+        params = CostParams()
+        rng = RngStreams(42)
+        cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=5)
+        server = DoubleFaceServer(sim, metrics, params, cluster, rng,
+                                  reactors=1,
+                                  scheduler=DeferIncompleteScheduler())
+        server.start()
+        ClosedLoopWorkload(sim, metrics, params, server,
+                           uniform_profile(4, 100), 8, rng).start()
+        sim.run(until=0.5)
+        completed = metrics.raw_count("client.completed")
+        assert completed > 20
+        # Conservation: responses processed == 4 x completed (+ in flight).
+        responses = metrics.raw_count("server.fanout_responses")
+        assert responses >= 4 * completed

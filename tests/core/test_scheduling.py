@@ -1,0 +1,168 @@
+"""Unit and property tests for the fanout-aware batch scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scheduling import FanoutAwareScheduler, FifoScheduler
+from repro.messages import HttpRequest, QueryResponse
+
+
+class _State:
+    """Stand-in for RequestState: only `remaining` matters."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, remaining):
+        self.remaining = remaining
+
+
+def response(state, rid=0):
+    return ("chan", QueryResponse(request_id=rid, shard_id=0,
+                                  payload_size=100, context=state))
+
+
+def request(fanout=2):
+    return ("chan", HttpRequest(fanout=fanout, response_size=100))
+
+
+class TestFifoScheduler:
+    def test_preserves_order(self):
+        sched = FifoScheduler()
+        batch = [request(), response(_State(1)), request()]
+        assert sched.order(batch) == batch
+
+    def test_returns_copy(self):
+        sched = FifoScheduler()
+        batch = [request()]
+        out = sched.order(batch)
+        assert out == batch
+        assert out is not batch
+
+
+class TestFanoutAwareScheduler:
+    def test_trivial_batches_untouched(self):
+        sched = FanoutAwareScheduler()
+        assert sched.order([]) == []
+        single = [request()]
+        assert sched.order(single) == single
+
+    def test_completable_before_incomplete(self):
+        sched = FanoutAwareScheduler()
+        done = _State(remaining=1)
+        pending = _State(remaining=5)
+        batch = [response(pending), response(done)]
+        ordered = sched.order(batch)
+        assert ordered[0][1].context is done
+        assert ordered[-1][1].context is pending
+
+    def test_paper_figure_12_scenario(self):
+        """Fanout-3 and fanout-8 requests complete in the batch; the
+        fanout-5 request has only 3 of 5 responses present and goes
+        last."""
+        sched = FanoutAwareScheduler()
+        f3 = _State(remaining=3)
+        f8 = _State(remaining=8)
+        f5 = _State(remaining=5)
+        batch = []
+        batch += [response(f5)] * 3          # incomplete (3 of 5)
+        batch += [response(f3)] * 3          # completable
+        batch += [response(f8)] * 8          # completable
+        ordered = sched.order(batch)
+        states = [ev[1].context for ev in ordered]
+        # First the fanout-3 request (fewest outstanding), then the
+        # fanout-8 one, then the incomplete fanout-5 events.
+        assert states[:3] == [f3] * 3
+        assert states[3:11] == [f8] * 8
+        assert states[11:] == [f5] * 3
+
+    def test_sjf_among_completables(self):
+        sched = FanoutAwareScheduler()
+        big = _State(remaining=4)
+        small = _State(remaining=2)
+        batch = [response(big)] * 4 + [response(small)] * 2
+        ordered = sched.order(batch)
+        assert [ev[1].context for ev in ordered[:2]] == [small, small]
+
+    def test_requests_between_completable_and_incomplete(self):
+        sched = FanoutAwareScheduler()
+        done = _State(remaining=1)
+        pending = _State(remaining=9)
+        batch = [response(pending), request(), response(done)]
+        ordered = sched.order(batch)
+        kinds = ["done" if (isinstance(m, QueryResponse)
+                            and m.context is done)
+                 else ("pending" if isinstance(m, QueryResponse)
+                       else "request")
+                 for (_c, m) in ordered]
+        assert kinds == ["done", "request", "pending"]
+
+    def test_permutation_only(self):
+        sched = FanoutAwareScheduler()
+        states = [_State(remaining=i % 3 + 1) for i in range(10)]
+        batch = [response(s, rid=i) for i, s in enumerate(states)]
+        ordered = sched.order(batch)
+        assert sorted(id(ev[1]) for ev in ordered) == \
+               sorted(id(ev[1]) for ev in batch)
+
+    def test_stability_within_tier(self):
+        sched = FanoutAwareScheduler()
+        a, b = _State(remaining=1), _State(remaining=1)
+        batch = [response(a, rid=1), response(b, rid=2)]
+        ordered = sched.order(batch)
+        assert [ev[1].request_id for ev in ordered] == [1, 2]
+
+    def test_diagnostics_counters(self):
+        sched = FanoutAwareScheduler()
+        done = _State(remaining=1)
+        pending = _State(remaining=5)
+        sched.order([response(pending), response(done)])
+        assert sched.batches == 1
+        assert sched.promoted >= 1
+        assert sched.deferred >= 1
+
+
+@st.composite
+def batches(draw):
+    events = []
+    n_requests = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(n_requests):
+        events.append(request(draw(st.integers(min_value=1, max_value=8))))
+    n_groups = draw(st.integers(min_value=0, max_value=5))
+    for g in range(n_groups):
+        remaining = draw(st.integers(min_value=1, max_value=6))
+        present = draw(st.integers(min_value=1, max_value=6))
+        state = _State(remaining=remaining)
+        events.extend(response(state, rid=g) for _ in range(present))
+    # Shuffle deterministically via hypothesis permutation.
+    return draw(st.permutations(events))
+
+
+@given(batches())
+def test_order_is_always_a_permutation(batch):
+    """Property: scheduling never drops, duplicates, or invents events."""
+    sched = FanoutAwareScheduler()
+    ordered = sched.order(list(batch))
+    assert sorted(id(m) for (_c, m) in ordered) == \
+           sorted(id(m) for (_c, m) in batch)
+
+
+@given(batches())
+def test_completable_events_precede_incomplete_ones(batch):
+    """Property: every completable-group event is ordered before every
+    incomplete-group event."""
+    sched = FanoutAwareScheduler()
+    counts = {}
+    for _c, m in batch:
+        if isinstance(m, QueryResponse):
+            counts[id(m.context)] = counts.get(id(m.context), 0) + 1
+
+    def tier(message):
+        if not isinstance(message, QueryResponse):
+            return 1  # request
+        if counts[id(message.context)] >= message.context.remaining:
+            return 0  # completable
+        return 2      # incomplete
+
+    ordered = sched.order(list(batch))
+    tiers = [tier(m) for (_c, m) in ordered]
+    assert tiers == sorted(tiers)

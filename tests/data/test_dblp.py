@@ -1,0 +1,67 @@
+"""Unit tests for the synthetic DBLP co-author dataset."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.dblp import CoAuthorPair, DBLPDataset
+
+
+class TestDBLPDataset:
+    def test_paper_geometry(self):
+        ds = DBLPDataset()
+        assert ds.n_pairs == 7_000_000
+        assert ds.tuple_bytes == 30 * 1024
+        assert ds.n_shards == 20
+        # ~20 GB per shard, as in the paper.
+        assert ds.shard_bytes == pytest.approx(20 * 2**30, rel=0.55)
+
+    def test_author_names(self):
+        ds = DBLPDataset(n_authors=100)
+        assert ds.author_name(0) == "author00000000"
+        with pytest.raises(IndexError):
+            ds.author_name(100)
+
+    def test_pair_is_deterministic_and_distinct(self):
+        ds = DBLPDataset(n_pairs=1000, n_authors=50)
+        for i in range(100):
+            a1, b1 = ds.pair_for(i)
+            a2, b2 = ds.pair_for(i)
+            assert (a1, b1) == (a2, b2)
+            assert a1 != b1
+
+    def test_pair_bounds(self):
+        ds = DBLPDataset(n_pairs=10)
+        with pytest.raises(IndexError):
+            ds.pair_for(10)
+
+    def test_popularity_is_skewed(self):
+        ds = DBLPDataset(n_pairs=5000, n_authors=1000)
+        firsts = Counter(ds.pair_for(i)[0] for i in range(2000))
+        top = firsts.most_common(10)
+        bottom_share = sum(1 for c in firsts.values() if c == 1)
+        assert top[0][1] > 5          # prolific authors exist
+        assert bottom_share > 100     # long tail exists
+
+    def test_key_chooser(self):
+        ds = DBLPDataset(n_pairs=500, n_authors=100)
+        chooser = ds.key_chooser(random.Random(3))
+        keys = [chooser() for _ in range(50)]
+        assert all("|" in k for k in keys)
+        assert len(set(keys)) > 25
+
+    def test_materialize(self):
+        ds = DBLPDataset(n_pairs=20, n_authors=10, tuple_bytes=256)
+        pairs = list(ds.materialize(5))
+        assert len(pairs) == 5
+        for pair in pairs:
+            assert isinstance(pair, CoAuthorPair)
+            assert len(pair.payload) == 256
+            assert pair.key == f"{pair.author_a}|{pair.author_b}"
+        assert pairs == list(ds.materialize(5))
+
+    def test_op_rule(self):
+        ds = DBLPDataset()
+        assert ds.op_for_size(30 * 1024) == "get"
+        assert ds.op_for_size(100 * 1024) == "scan"

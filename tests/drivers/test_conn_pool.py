@@ -1,0 +1,94 @@
+"""Unit tests for the synchronous connection pool."""
+
+import pytest
+
+from repro.datastore.cluster import DatastoreCluster
+from repro.drivers.conn_pool import SyncConnectionPool
+from repro.messages import Query
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.rng import RngStreams
+from repro.sim.threads import SimThread
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams()
+    rng = RngStreams(42)
+    cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=3)
+    cpu = Cpu(sim, metrics, params)
+    pool = SyncConnectionPool(sim, cpu, metrics, params, cluster, name="cp")
+    return sim, metrics, params, cpu, cluster, pool
+
+
+class TestSyncConnectionPool:
+    def test_checkout_creates_then_reuses(self, env):
+        sim, metrics, _p, cpu, _cluster, pool = env
+        thread = SimThread(cpu)
+
+        def proc():
+            pair = yield from pool.checkout(thread, 0)
+            yield from pool.checkin(thread, 0, pair)
+            pair2 = yield from pool.checkout(thread, 0)
+            return pair is pair2
+
+        p = sim.process(proc())
+        sim.run(until=1.0)
+        assert p.value is True
+        assert pool.created == 1
+        assert metrics.raw_count("pool.cp.created") == 1
+        assert metrics.raw_count("pool.cp.reused") == 1
+
+    def test_pool_grows_under_concurrency(self, env):
+        sim, _m, _p, cpu, _cluster, pool = env
+        done = []
+
+        def proc(i):
+            thread = SimThread(cpu, f"t{i}")
+            query = Query(request_id=i, shard_id=0, op="get",
+                          response_size=100)
+            response = yield from pool.sync_query(thread, query)
+            done.append(response.request_id)
+
+        for i in range(4):
+            sim.process(proc(i))
+        sim.run(until=2.0)
+        assert sorted(done) == [0, 1, 2, 3]
+        # Concurrent queries to one shard need distinct connections.
+        assert pool.created >= 2
+
+    def test_sync_query_roundtrip(self, env):
+        sim, metrics, _p, cpu, _cluster, pool = env
+        thread = SimThread(cpu)
+        query = Query(request_id=9, shard_id=2, op="get", response_size=128)
+
+        def proc():
+            response = yield from pool.sync_query(thread, query)
+            return response
+
+        p = sim.process(proc())
+        sim.run(until=2.0)
+        assert p.value.payload_size == 128
+        assert p.value.shard_id == 2
+
+    def test_per_shard_free_lists(self, env):
+        sim, _m, _p, cpu, _cluster, pool = env
+        thread = SimThread(cpu)
+
+        def proc():
+            a = yield from pool.checkout(thread, 0)
+            b = yield from pool.checkout(thread, 1)
+            yield from pool.checkin(thread, 0, a)
+            yield from pool.checkin(thread, 1, b)
+            # Shard 1's free connection must not satisfy shard 0.
+            c = yield from pool.checkout(thread, 0)
+            return c is a
+
+        p = sim.process(proc())
+        sim.run(until=1.0)
+        assert p.value is True
+        assert pool.created == 2

@@ -1,0 +1,59 @@
+"""Tests for the exhibit registry and the CLI plumbing.
+
+Full exhibit runs live in ``benchmarks/``; here we verify the registry,
+argument handling, and one fast exhibit end-to-end.
+"""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import EXHIBITS, run_exhibit
+
+
+class TestRegistry:
+    def test_all_paper_exhibits_registered(self):
+        expected = {"fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
+                    "fig15", "fig16", "fig17", "tab1", "tab2", "tab3"}
+        assert set(EXHIBITS) == expected
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(KeyError):
+            run_exhibit("fig99")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.exhibit == "all"
+        assert not args.full
+        assert args.seed == 42
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--exhibit", "tab2", "--full", "--seed", "7"])
+        assert args.exhibit == "tab2"
+        assert args.full
+        assert args.seed == 7
+
+    def test_unknown_exhibit_exit_code(self, capsys):
+        assert main(["--exhibit", "nope"]) == 2
+
+
+class TestExhibitRun:
+    def test_tab3_end_to_end(self, capsys):
+        """tab3 is a representative fast exhibit: run it and check both
+        the rendered text and the structured data."""
+        result = run_exhibit("tab3", quick=True)
+        assert result.exhibit == "tab3"
+        assert "Table 3" in result.text
+        for case in ("OneCase", "TwoCase", "FourCase"):
+            assert case in result.data
+            assert result.data[case]["throughput"] > 0
+        # The imbalance signature: OneCase is backend-starved (frontend
+        # makes many more selects per event than the backend side).
+        one = result.data["OneCase"]
+        four = result.data["FourCase"]
+        one_backend_eps = one["backend_events"] / max(one["backend_selects"], 1)
+        four_backend_eps = (four["backend_events"]
+                            / max(four["backend_selects"], 1))
+        assert one_backend_eps > four_backend_eps

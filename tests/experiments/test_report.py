@@ -1,0 +1,65 @@
+"""Tests for the text-report rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import fmt, normalize, render_series, render_table
+
+
+class TestFmt:
+    def test_number_formats(self):
+        assert fmt(3.14159, width=8) == "    3.14"
+        assert fmt(None, width=4) == "   -"
+        assert fmt(float("nan"), width=4) == "   -"
+        assert fmt("x", width=3) == "  x"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table("Title", ["a", "b"], [[1, 2.5], ["x", 100.0]])
+        assert "Title" in text
+        assert "=" * len("Title") in text
+        lines = text.splitlines()
+        assert "a" in lines[2] and "b" in lines[2]
+        assert "2.50" in text
+        assert "100" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = render_table("T", ["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_alignment_consistent(self):
+        text = render_table("T", ["col"], [[1], [22], [333]])
+        lines = text.splitlines()[2:]
+        assert len({len(line) for line in lines if line.strip()}) == 1
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        text = render_series("S", "x", [1, 2, 3],
+                             {"a": [10.0, 20.0, 30.0],
+                              "b": [1.0, 2.0, 3.0]})
+        lines = [l for l in text.splitlines() if l and not
+                 l.startswith(("S", "=", "-"))]
+        assert len(lines) == 4  # header + 3 rows
+
+    def test_short_series_padded_with_nan(self):
+        text = render_series("S", "x", [1, 2], {"a": [10.0]})
+        assert "-" in text.splitlines()[-1]
+
+
+class TestNormalize:
+    def test_pointwise_division(self):
+        series = {"base": [2.0, 4.0], "other": [1.0, 8.0]}
+        out = normalize(series, "base")
+        assert out["base"] == [1.0, 1.0]
+        assert out["other"] == [0.5, 2.0]
+
+    def test_zero_baseline_gives_nan(self):
+        out = normalize({"base": [0.0], "x": [1.0]}, "base")
+        assert math.isnan(out["x"][0])
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalize({"a": [1.0]}, "missing")

@@ -1,0 +1,89 @@
+"""Cross-module integration tests: the paper's qualitative claims at
+small scale, and dataset-driven runs with materialised records."""
+
+import pytest
+
+from repro.core.doubleface import DoubleFaceServer
+from repro.data.ycsb import YCSBDataset
+from repro.datastore.cluster import DatastoreCluster
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.rng import RngStreams
+from repro.workload.closed_loop import ClosedLoopWorkload
+from repro.workload.profiles import uniform_profile
+
+
+def tput(server, **kw):
+    kw.setdefault("warmup", 0.3)
+    kw.setdefault("duration", 0.8)
+    config = ExperimentConfig(server=server, **kw)
+    return run_experiment(config).throughput
+
+
+class TestPaperClaimsSmallScale:
+    """Scaled-down versions of the headline orderings; the full-size
+    versions are asserted by the benchmark suite."""
+
+    def test_doubleface_beats_baselines_small_responses(self):
+        df = tput("doubleface", concurrency=60, fanout=5, response_size=100)
+        netty = tput("netty", concurrency=60, fanout=5, response_size=100)
+        aio = tput("aio", concurrency=60, fanout=5, response_size=100)
+        assert df > netty
+        assert df > aio
+
+    def test_threadbased_collapses_at_high_concurrency(self):
+        low = tput("threadbased", concurrency=16, fanout=5,
+                   response_size=100)
+        high = tput("threadbased", concurrency=512, fanout=5,
+                    response_size=100, warmup=1.0)
+        assert high < low
+
+    def test_async_type2_does_not_collapse(self):
+        low = tput("aio", concurrency=16, fanout=5, response_size=100)
+        high = tput("aio", concurrency=512, fanout=5, response_size=100,
+                    warmup=1.0)
+        assert high > 0.7 * low
+
+    def test_netty_beats_aio_at_large_responses(self):
+        netty = tput("netty", concurrency=100, fanout=5,
+                     response_size=20 * 1024, warmup=1.5, duration=2.0)
+        aio = tput("aio", concurrency=100, fanout=5,
+                   response_size=20 * 1024, warmup=1.5, duration=2.0)
+        assert netty > aio
+
+    def test_remote_datastore_increases_latency(self):
+        local = run_experiment(ExperimentConfig(
+            datastore="mongodb", concurrency=5, warmup=0.2, duration=0.4))
+        remote = run_experiment(ExperimentConfig(
+            datastore="dynamodb", concurrency=5, warmup=0.2, duration=0.4))
+        assert remote.mean_rt > local.mean_rt + 1.5e-3
+
+
+class TestMaterializedDataPath:
+    """End-to-end with real records: clients ask for real keys, shards
+    return real field data."""
+
+    def test_ycsb_keys_roundtrip_through_doubleface(self):
+        sim = Simulator()
+        metrics = Metrics()
+        params = CostParams()
+        rng = RngStreams(42)
+        dataset = YCSBDataset(records_per_shard=50, n_shards=4)
+        cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=4,
+                                   schema=dataset.schema)
+        loaded = cluster.load(dataset.materialize(200))
+        assert loaded == 200
+
+        server = DoubleFaceServer(sim, metrics, params, cluster, rng,
+                                  reactors=1)
+        server.start()
+        keys = iter(dataset.key_for(i % 200) for i in range(10_000))
+        profile = uniform_profile(2, 100, key_chooser=lambda: next(keys))
+        ClosedLoopWorkload(sim, metrics, params, server, profile,
+                           concurrency=4, rng_streams=rng).start()
+        sim.run(until=0.5)
+        assert metrics.raw_count("client.completed") > 50
+        assert metrics.raw_count("datastore.queries") > 100

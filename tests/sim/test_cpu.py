@@ -1,0 +1,232 @@
+"""Unit tests for the CPU scheduler model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.threads import SimThread
+
+
+def make_cpu(cores=1, **overrides):
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams().with_overrides(app_cores=cores, **overrides)
+    cpu = Cpu(sim, metrics, params)
+    return sim, metrics, cpu
+
+
+class TestBasicExecution:
+    def test_single_job_takes_its_duration(self):
+        sim, _m, cpu = make_cpu()
+        t = SimThread(cpu)
+
+        def proc():
+            yield cpu.execute(t, 0.005)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(0.005)
+
+    def test_zero_work_completes(self):
+        sim, _m, cpu = make_cpu()
+        t = SimThread(cpu)
+
+        def proc():
+            yield cpu.execute(t, 0.0)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "done"
+
+    def test_negative_work_rejected(self):
+        _sim, _m, cpu = make_cpu()
+        t = SimThread(cpu)
+        with pytest.raises(ValueError):
+            cpu.execute(t, -1.0)
+
+    def test_needs_at_least_one_core(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Cpu(sim, Metrics(), CostParams(), cores=0)
+
+    def test_two_threads_share_one_core(self):
+        sim, _m, cpu = make_cpu(cores=1, ctx_switch_cost=0.0,
+                                ctx_cache_penalty=0.0,
+                                resume_reload_fraction=0.0)
+        a, b = SimThread(cpu, "a"), SimThread(cpu, "b")
+
+        def proc(thread):
+            yield cpu.execute(thread, 0.010)
+            return sim.now
+
+        pa = sim.process(proc(a))
+        pb = sim.process(proc(b))
+        sim.run()
+        # Total work is 20 ms on one core; the later finisher ends at 20 ms.
+        assert max(pa.value, pb.value) == pytest.approx(0.020)
+
+    def test_two_threads_run_in_parallel_on_two_cores(self):
+        sim, _m, cpu = make_cpu(cores=2)
+        a, b = SimThread(cpu, "a"), SimThread(cpu, "b")
+
+        def proc(thread):
+            yield cpu.execute(thread, 0.010)
+            return sim.now
+
+        pa = sim.process(proc(a))
+        pb = sim.process(proc(b))
+        sim.run()
+        assert pa.value == pytest.approx(0.010)
+        assert pb.value == pytest.approx(0.010)
+
+
+class TestContextSwitchAccounting:
+    def test_continuation_does_not_switch(self):
+        """A thread issuing back-to-back work keeps the core for free."""
+        sim, m, cpu = make_cpu()
+        t = SimThread(cpu)
+
+        def proc():
+            for _ in range(10):
+                yield cpu.execute(t, 0.0001)
+
+        sim.process(proc())
+        sim.run()
+        assert m.raw_count("cpu.app.ctx_switches") == 0
+
+    def test_alternation_counts_switches(self):
+        sim, m, cpu = make_cpu(cores=1)
+        a, b = SimThread(cpu, "a"), SimThread(cpu, "b")
+
+        def proc(thread, other_done):
+            for _ in range(3):
+                yield cpu.execute(thread, 0.002)  # 2 ms > quantum
+            return True
+
+        sim.process(proc(a, None))
+        sim.process(proc(b, None))
+        sim.run()
+        assert m.raw_count("cpu.app.ctx_switches") > 0
+
+    def test_switch_cost_charged_to_ctx_category(self):
+        sim, m, cpu = make_cpu(cores=1, ctx_switch_cost=1e-6,
+                               ctx_cache_penalty=0.0,
+                               resume_reload_fraction=0.0)
+        a, b = SimThread(cpu, "a"), SimThread(cpu, "b")
+
+        def proc(thread):
+            yield cpu.execute(thread, 0.003)
+
+        sim.process(proc(a))
+        sim.process(proc(b))
+        sim.run()
+        switches = m.raw_count("cpu.app.ctx_switches")
+        assert m.cpu.busy_by_category["ctx_switch"] == pytest.approx(
+            switches * 1e-6)
+
+    def test_cache_penalty_grows_with_runnable_count(self):
+        """More runnable threads -> costlier switches (Fig. 4 mechanism)."""
+        def total_ctx_cpu(n_threads):
+            sim, m, cpu = make_cpu(cores=1, ctx_switch_cost=1e-6,
+                                   ctx_cache_penalty=50e-6,
+                                   ctx_cache_threads=10)
+            threads = [SimThread(cpu, f"t{i}") for i in range(n_threads)]
+
+            def proc(thread):
+                for _ in range(3):
+                    yield cpu.execute(thread, 0.0015)
+
+            for t in threads:
+                sim.process(proc(t))
+            sim.run()
+            switches = m.raw_count("cpu.app.ctx_switches")
+            return m.cpu.busy_by_category["ctx_switch"] / max(switches, 1)
+
+        assert total_ctx_cpu(12) > total_ctx_cpu(2)
+
+
+class TestFairnessAndLoad:
+    def test_quantum_preemption_interleaves_long_jobs(self):
+        sim, _m, cpu = make_cpu(cores=1, quantum=1e-3)
+        a, b = SimThread(cpu, "a"), SimThread(cpu, "b")
+        finish = {}
+
+        def proc(name, thread):
+            yield cpu.execute(thread, 0.005)
+            finish[name] = sim.now
+
+        sim.process(proc("a", a))
+        sim.process(proc("b", b))
+        sim.run()
+        # With preemptive sharing both finish near 10 ms; without it, one
+        # would finish at 5 ms.
+        assert finish["a"] > 0.008
+        assert finish["b"] > 0.008
+
+    def test_runnable_count_tracks_queue(self):
+        sim, _m, cpu = make_cpu(cores=1)
+        threads = [SimThread(cpu, f"t{i}") for i in range(5)]
+        for t in threads:
+            cpu.execute(t, 0.010)
+        assert cpu.runnable_count == 5
+        sim.run()
+        assert cpu.runnable_count == 0
+
+    def test_load_snapshot_monotone(self):
+        sim, _m, cpu = make_cpu()
+        t = SimThread(cpu)
+        cpu.execute(t, 0.010)
+        sim.run(until=0.005)
+        first = cpu.load_snapshot()
+        sim.run(until=0.006)
+        second = cpu.load_snapshot()
+        assert second >= first
+
+    def test_utilization_full_when_saturated(self):
+        sim, m, cpu = make_cpu(cores=1)
+        t = SimThread(cpu)
+        cpu.execute(t, 1.0)
+        m.mark_window_start(0.0)
+        sim.run(until=0.5)
+        assert cpu.utilization() == pytest.approx(1.0, abs=0.01)
+
+    def test_work_conserving_across_cores(self):
+        """No core idles while the run queue is non-empty."""
+        sim, m, cpu = make_cpu(cores=2, ctx_switch_cost=0.0,
+                               ctx_cache_penalty=0.0,
+                               resume_reload_fraction=0.0)
+        threads = [SimThread(cpu, f"t{i}") for i in range(4)]
+        for t in threads:
+            cpu.execute(t, 0.010)
+        m.mark_window_start(0.0)
+        sim.run()
+        # 40 ms of work over 2 cores = done at 20 ms, 100% busy.
+        assert sim.now == pytest.approx(0.020)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.floats(min_value=1e-6, max_value=5e-3, allow_nan=False),
+                min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=4))
+def test_cpu_conserves_work(amounts, cores):
+    """Property: total charged CPU equals total requested work (plus
+    explicit switch overhead), and every job completes."""
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams().with_overrides(app_cores=cores)
+    cpu = Cpu(sim, metrics, params)
+    done = []
+    for i, amount in enumerate(amounts):
+        t = SimThread(cpu, f"t{i}")
+        ev = cpu.execute(t, amount)
+        ev.add_callback(lambda e: done.append(1))
+    sim.run()
+    assert len(done) == len(amounts)
+    busy = metrics.cpu.busy_by_category
+    useful = busy.get("app", 0.0)
+    assert useful == pytest.approx(sum(amounts), rel=1e-9)

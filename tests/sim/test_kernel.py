@@ -1,0 +1,311 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import (AllOf, AnyOf, Event, Process, SimulationError,
+                              Simulator, Timeout)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+        assert ev.value is None
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+        assert ev.ok
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("nope"))
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_records_exception(self, sim):
+        ev = sim.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.exception is exc
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        ev = sim.event()
+        order = []
+        ev.add_callback(lambda e: order.append(1))
+        ev.add_callback(lambda e: order.append(2))
+        ev.succeed()
+        sim.run()
+        assert order == [1, 2]
+
+
+class TestTimeout:
+    def test_fires_at_the_right_time(self, sim):
+        times = []
+        t = sim.timeout(1.5)
+        t.add_callback(lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+    def test_timeout_value(self, sim):
+        t = sim.timeout(0.1, value="done")
+        sim.run()
+        assert t.value == "done"
+
+    def test_zero_delay_fires(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "finished"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.ok
+        assert p.value == "finished"
+        assert not p.is_alive
+
+    def test_receives_event_values(self, sim):
+        def proc():
+            value = yield sim.timeout(0.5, value="tick")
+            return value
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "tick"
+
+    def test_processes_interleave_in_time_order(self, sim):
+        trace = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+
+        sim.process(proc("b", 2.0))
+        sim.process(proc("a", 1.0))
+        sim.run()
+        assert trace == [("a", 1.0), ("b", 2.0)]
+
+    def test_waiting_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 100
+
+    def test_failure_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(0.1)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "caught child died"
+
+    def test_unobserved_failure_raises(self, sim):
+        def proc():
+            yield sim.timeout(0.1)
+            raise RuntimeError("unobserved")
+
+        sim.process(proc())
+        with pytest.raises(RuntimeError, match="unobserved"):
+            sim.run()
+
+    def test_bad_yield_detected(self, sim):
+        def proc():
+            yield "not an event"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_yield_from_composition(self, sim):
+        def helper():
+            yield sim.timeout(0.5)
+            return 10
+
+        def proc():
+            a = yield from helper()
+            b = yield from helper()
+            return a + b
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 20
+        assert sim.now == 1.0
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+
+class TestAnyOfAllOf:
+    def test_any_of_returns_first(self, sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(2.0, value="slow")
+
+        def proc():
+            winner, value = yield sim.any_of([slow, fast])
+            return value
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "fast"
+        assert sim.now == 2.0  # slow timeout still fires
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            AnyOf(sim, [])
+
+    def test_all_of_collects_in_order(self, sim):
+        a = sim.timeout(2.0, value="a")
+        b = sim.timeout(1.0, value="b")
+
+        def proc():
+            values = yield sim.all_of([a, b])
+            return values
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == ["a", "b"]
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        ev = AllOf(sim, [])
+        sim.run()
+        assert ev.ok
+        assert ev.value == []
+
+    def test_all_of_fails_on_child_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        bad.fail(ValueError("bad child"))
+
+        def proc():
+            try:
+                yield sim.all_of([good, bad])
+            except ValueError:
+                return "failed"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "failed"
+
+
+class TestSimulatorRun:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.timeout(0.25)
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+
+    def test_run_until_excludes_later_events(self, sim):
+        seen = []
+        t = sim.timeout(2.0)
+        t.add_callback(lambda e: seen.append(sim.now))
+        sim.run(until=1.0)
+        assert seen == []
+        sim.run(until=3.0)
+        assert seen == [2.0]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run(until=1.0)
+        with pytest.raises(ValueError):
+            sim.run(until=0.5)
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_peek(self, sim):
+        assert sim.peek() is None
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+
+    def test_fifo_tie_break_is_deterministic(self, sim):
+        order = []
+        for i in range(10):
+            t = sim.timeout(1.0, value=i)
+            t.add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == list(range(10))
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """Property: no matter the scheduling order, callbacks observe a
+    monotonically non-decreasing clock."""
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        t = sim.timeout(d)
+        t.add_callback(lambda e: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10,
+                                    allow_nan=False),
+                          st.integers(min_value=0, max_value=5)),
+                min_size=1, max_size=30))
+def test_process_chains_preserve_causality(pairs):
+    """Property: a process that waits on a chain of timeouts finishes at
+    exactly the sum of the delays."""
+    sim = Simulator()
+
+    def proc(delays):
+        for d in delays:
+            yield sim.timeout(d)
+        return sim.now
+
+    delays = [d for d, _ in pairs]
+    p = sim.process(proc(delays))
+    sim.run()
+    assert p.value == pytest.approx(sum(delays))

@@ -1,0 +1,253 @@
+"""Unit tests for waitable queues and semaphores."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import (Queue, QueueTimeout, Semaphore,
+                                 queue_get_with_timeout)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestQueue:
+    def test_put_then_get(self, sim):
+        q = Queue(sim)
+        q.put("x")
+        ev = q.get()
+        assert ev.triggered
+        assert ev.value == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        q = Queue(sim)
+
+        def getter():
+            value = yield q.get()
+            return (sim.now, value)
+
+        def putter():
+            yield sim.timeout(1.0)
+            q.put("late")
+
+        p = sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert p.value == (1.0, "late")
+
+    def test_fifo_item_order(self, sim):
+        q = Queue(sim)
+        for i in range(5):
+            q.put(i)
+        got = [q.get().value for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_waiter_order(self, sim):
+        q = Queue(sim)
+        results = []
+
+        def getter(name):
+            value = yield q.get()
+            results.append((name, value))
+
+        sim.process(getter("first"))
+        sim.process(getter("second"))
+        sim.run()
+        q.put("a")
+        q.put("b")
+        sim.run()
+        assert results == [("first", "a"), ("second", "b")]
+
+    def test_lifo_waiter_order(self, sim):
+        q = Queue(sim, wake_order="lifo")
+        results = []
+
+        def getter(name):
+            value = yield q.get()
+            results.append((name, value))
+
+        sim.process(getter("old"))
+        sim.process(getter("young"))
+        sim.run()
+        q.put("a")
+        sim.run()
+        assert results == [("young", "a")]
+
+    def test_unknown_wake_order_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Queue(sim, wake_order="random")
+
+    def test_put_front(self, sim):
+        q = Queue(sim)
+        q.put(1)
+        q.put_front(0)
+        assert q.get().value == 0
+        assert q.get().value == 1
+
+    def test_drain(self, sim):
+        q = Queue(sim)
+        q.put(1)
+        q.put(2)
+        assert q.drain() == [1, 2]
+        assert len(q) == 0
+
+    def test_len_and_waiting(self, sim):
+        q = Queue(sim)
+        assert len(q) == 0
+        q.get()  # now one waiter
+        assert q.waiting == 1
+        q.put("x")  # consumed by the waiter
+        assert len(q) == 0
+        assert q.waiting == 0
+
+
+class TestQueueTimeout:
+    def test_get_with_timeout_success(self, sim):
+        q = Queue(sim)
+
+        def proc():
+            value = yield from queue_get_with_timeout(sim, q, 5.0)
+            return value
+
+        def putter():
+            yield sim.timeout(1.0)
+            q.put("in-time")
+
+        p = sim.process(proc())
+        sim.process(putter())
+        sim.run()
+        assert p.value == "in-time"
+
+    def test_get_with_timeout_expires(self, sim):
+        q = Queue(sim)
+
+        def proc():
+            try:
+                yield from queue_get_with_timeout(sim, q, 1.0)
+            except QueueTimeout:
+                return "timed out"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "timed out"
+        assert sim.now >= 1.0
+
+    def test_item_not_lost_after_abandoned_getter(self, sim):
+        q = Queue(sim)
+
+        def loser():
+            try:
+                yield from queue_get_with_timeout(sim, q, 1.0)
+            except QueueTimeout:
+                return "lost"
+
+        p = sim.process(loser())
+        sim.run()
+        assert p.value == "lost"
+        # A put after the timeout must not vanish into the dead getter.
+        q.put("survivor")
+        ev = q.get()
+        assert ev.triggered
+        assert ev.value == "survivor"
+
+    def test_immediate_item_wins(self, sim):
+        q = Queue(sim)
+        q.put("ready")
+
+        def proc():
+            value = yield from queue_get_with_timeout(sim, q, 1.0)
+            return value
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "ready"
+
+
+class TestSemaphore:
+    def test_initial_count(self, sim):
+        s = Semaphore(sim, 2)
+        assert s.count == 2
+        with pytest.raises(ValueError):
+            Semaphore(sim, -1)
+
+    def test_acquire_release_cycle(self, sim):
+        s = Semaphore(sim, 1)
+        assert s.acquire().triggered
+        assert s.count == 0
+        s.release()
+        assert s.count == 1
+
+    def test_blocking_acquire(self, sim):
+        s = Semaphore(sim, 1)
+        order = []
+
+        def holder():
+            yield s.acquire()
+            yield sim.timeout(1.0)
+            order.append(("holder releases", sim.now))
+            s.release()
+
+        def waiter():
+            yield s.acquire()
+            order.append(("waiter acquired", sim.now))
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        assert order == [("holder releases", 1.0), ("waiter acquired", 1.0)]
+
+    def test_try_acquire(self, sim):
+        s = Semaphore(sim, 1)
+        assert s.try_acquire()
+        assert not s.try_acquire()
+        s.release()
+        assert s.try_acquire()
+
+    def test_waiting_count(self, sim):
+        s = Semaphore(sim, 0)
+
+        def waiter():
+            yield s.acquire()
+
+        sim.process(waiter())
+        sim.run()
+        assert s.waiting == 1
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=100))
+def test_queue_preserves_all_items_in_order(items):
+    """Property: what goes in comes out, once each, in FIFO order."""
+    sim = Simulator()
+    q = Queue(sim)
+    for item in items:
+        q.put(item)
+    out = []
+    while len(q):
+        out.append(q.get().value)
+    assert out == items
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=40))
+def test_semaphore_never_exceeds_capacity(capacity, n_procs):
+    """Property: at most `capacity` holders at any instant."""
+    sim = Simulator()
+    sem = Semaphore(sim, capacity)
+    holding = [0]
+    peak = [0]
+
+    def proc():
+        yield sem.acquire()
+        holding[0] += 1
+        peak[0] = max(peak[0], holding[0])
+        yield sim.timeout(1.0)
+        holding[0] -= 1
+        sem.release()
+
+    for _ in range(n_procs):
+        sim.process(proc())
+    sim.run()
+    assert peak[0] <= capacity
+    assert holding[0] == 0

@@ -1,0 +1,111 @@
+"""Unit tests for RNG streams and the cost-model dataclass."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.params import KB, CostParams
+from repro.sim.rng import RngStreams, lognormal_from_mean_cv
+
+
+class TestRngStreams:
+    def test_streams_are_deterministic(self):
+        a = RngStreams(7).stream("svc")
+        b = RngStreams(7).stream("svc")
+        assert [a.random() for _ in range(10)] == \
+               [b.random() for _ in range(10)]
+
+    def test_streams_are_independent_by_name(self):
+        streams = RngStreams(7)
+        x = streams.stream("x")
+        y = streams.stream("y")
+        assert [x.random() for _ in range(5)] != \
+               [y.random() for _ in range(5)]
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        """The whole point of named streams: a new consumer must not
+        shift the draws other consumers see."""
+        only = RngStreams(7)
+        seq_before = [only.stream("svc").random() for _ in range(5)]
+        both = RngStreams(7)
+        both.stream("new-consumer").random()
+        seq_after = [both.stream("svc").random() for _ in range(5)]
+        assert seq_before == seq_after
+
+    def test_same_name_returns_same_stream(self):
+        streams = RngStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_spawn_derives_child_registry(self):
+        parent = RngStreams(7)
+        child1 = parent.spawn("shard-0")
+        child2 = parent.spawn("shard-0")
+        assert child1.seed == child2.seed
+        assert parent.spawn("shard-1").seed != child1.seed
+
+
+class TestLognormal:
+    def test_zero_cv_is_deterministic(self):
+        import random
+        rng = random.Random(1)
+        assert lognormal_from_mean_cv(rng, 2.0, 0.0) == 2.0
+
+    def test_mean_matches_parameter(self):
+        import random
+        rng = random.Random(1)
+        samples = [lognormal_from_mean_cv(rng, 3.0, 0.8)
+                   for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, rel=0.05)
+
+    def test_positive_mean_required(self):
+        import random
+        with pytest.raises(ValueError):
+            lognormal_from_mean_cv(random.Random(1), 0.0, 1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e3),
+           st.floats(min_value=0.01, max_value=5.0),
+           st.integers(min_value=0, max_value=2**31))
+    def test_always_positive(self, mean, cv, seed):
+        import random
+        value = lognormal_from_mean_cv(random.Random(seed), mean, cv)
+        assert value > 0
+        assert math.isfinite(value)
+
+
+class TestCostParams:
+    def test_with_overrides_returns_copy(self):
+        base = CostParams()
+        derived = base.with_overrides(app_cores=8)
+        assert derived.app_cores == 8
+        assert base.app_cores != 8 or base.app_cores == 8  # base unchanged
+        assert base is not derived
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            CostParams().with_overrides(warp_drive=1)
+
+    def test_response_cost_scales_with_size(self):
+        params = CostParams()
+        small = params.response_process_cost(100)
+        large = params.response_process_cost(20 * KB)
+        assert large > small
+        assert large - params.response_base_cost == pytest.approx(
+            20 * params.response_per_kb_cost)
+
+    def test_assemble_cost(self):
+        params = CostParams()
+        assert params.assemble_cost(0) == params.assemble_base_cost
+        assert params.assemble_cost(2 * KB) == pytest.approx(
+            params.assemble_base_cost + 2 * params.assemble_per_kb_cost)
+
+    def test_transfer_time(self):
+        params = CostParams()
+        assert params.transfer_time(params.net_bandwidth) == pytest.approx(1.0)
+
+    def test_defaults_sane(self):
+        params = CostParams()
+        assert params.app_cores >= 1
+        assert 0 < params.ctx_switch_cost < params.quantum
+        assert params.point_lookup_mean > 0
+        assert params.large_shard_factor > 1.0

@@ -1,0 +1,178 @@
+"""Unit tests for the selector (select()/epoll) model."""
+
+import pytest
+
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.syscalls import Selector
+from repro.sim.threads import SimThread
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams().with_overrides(app_cores=1)
+    cpu = Cpu(sim, metrics, params)
+    selector = Selector(sim, cpu, metrics, params, "sel")
+    thread = SimThread(cpu, "reactor")
+    return sim, metrics, params, cpu, selector, thread
+
+
+class TestSelect:
+    def test_returns_pending_events_immediately(self, env):
+        sim, metrics, _p, _cpu, selector, thread = env
+        ch = selector.open_channel("upstream")
+        ch.deliver("a")
+        ch.deliver("b")
+
+        def proc():
+            batch = yield from selector.select(thread)
+            return batch
+
+        p = sim.process(proc())
+        sim.run()
+        assert [msg for _c, msg in p.value] == ["a", "b"]
+
+    def test_blocks_until_delivery(self, env):
+        sim, _m, _p, _cpu, selector, thread = env
+        ch = selector.open_channel("downstream")
+
+        def producer():
+            yield sim.timeout(1.0)
+            ch.deliver("late")
+
+        def proc():
+            batch = yield from selector.select(thread)
+            return (sim.now, [m for _c, m in batch])
+
+        p = sim.process(proc())
+        sim.process(producer())
+        sim.run()
+        when, msgs = p.value
+        assert msgs == ["late"]
+        assert when >= 1.0
+
+    def test_timeout_returns_empty_and_counts_spurious(self, env):
+        sim, metrics, _p, _cpu, selector, thread = env
+
+        def proc():
+            batch = yield from selector.select(thread, timeout=0.01)
+            return batch
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == []
+        assert metrics.raw_count("selector.sel.spurious") == 1
+
+    def test_batch_accumulates_while_reactor_busy(self, env):
+        sim, _m, _p, cpu, selector, thread = env
+        ch = selector.open_channel("downstream")
+        batches = []
+
+        def producer():
+            for i in range(6):
+                yield sim.timeout(0.001)
+                ch.deliver(i)
+
+        def reactor():
+            got = 0
+            while got < 6:
+                batch = yield from selector.select(thread)
+                batches.append(len(batch))
+                got += len(batch)
+                # Long processing lets events pile up for the next select.
+                yield cpu.execute(thread, 0.003)
+
+        sim.process(producer())
+        sim.process(reactor())
+        sim.run()
+        assert sum(batches) == 6
+        assert max(batches) > 1  # batching happened
+
+    def test_select_charges_cpu(self, env):
+        sim, metrics, params, _cpu, selector, thread = env
+        ch = selector.open_channel("upstream")
+        ch.deliver("x")
+
+        def proc():
+            yield from selector.select(thread)
+
+        sim.process(proc())
+        sim.run()
+        expected = params.select_base_cost + params.select_per_event_cost
+        assert metrics.cpu.busy_by_category["select"] == pytest.approx(expected)
+
+    def test_netty_style_probe_counts_extra_select(self, env):
+        """A finite-timeout select that has to wait issues a selectNow
+        probe first: two syscalls for one wake-up."""
+        sim, metrics, _p, _cpu, selector, thread = env
+        ch = selector.open_channel("downstream")
+
+        def producer():
+            yield sim.timeout(0.001)
+            ch.deliver("x")
+
+        def proc():
+            batch = yield from selector.select(thread, timeout=1.0)
+            return batch
+
+        p = sim.process(proc())
+        sim.process(producer())
+        sim.run()
+        assert len(p.value) == 1
+        assert metrics.raw_count("selector.sel.selects") == 2  # probe + real
+
+
+class TestPost:
+    def test_post_delivers_task_event(self, env):
+        sim, metrics, _p, _cpu, selector, thread = env
+        other = SimThread(thread.cpu, "poster")
+
+        def poster():
+            yield from selector.post(other, "job")
+
+        def proc():
+            batch = yield from selector.select(thread)
+            channel, msg = batch[0]
+            return (channel.kind, msg)
+
+        p = sim.process(proc())
+        sim.process(poster())
+        sim.run()
+        assert p.value == ("task", "job")
+        assert metrics.raw_count("selector.sel.wakeups") == 1
+
+    def test_post_without_thread_skips_charge(self, env):
+        sim, metrics, _p, _cpu, selector, thread = env
+
+        def poster():
+            yield from selector.post(None, "job")
+
+        sim.process(poster())
+        sim.run()
+        assert metrics.cpu.busy_by_category.get("syscall", 0.0) == 0.0
+
+
+class TestStats:
+    def test_events_per_select(self, env):
+        sim, _m, _p, _cpu, selector, thread = env
+        ch = selector.open_channel("upstream")
+        for i in range(4):
+            ch.deliver(i)
+
+        def proc():
+            yield from selector.select(thread)
+
+        sim.process(proc())
+        sim.run()
+        stats = selector.stats()
+        assert stats["selects"] == 1
+        assert stats["events"] == 4
+        assert stats["events_per_select"] == pytest.approx(4.0)
+
+    def test_stats_zero_division_safe(self, env):
+        _sim, _m, _p, _cpu, selector, _t = env
+        assert selector.stats()["events_per_select"] == 0.0

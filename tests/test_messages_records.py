@@ -1,0 +1,65 @@
+"""Unit tests for message types and record materialisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastore.records import (RecordSchema, materialize_record,
+                                     record_size)
+from repro.messages import HttpRequest, HttpResponse, Query, QueryResponse
+
+
+class TestMessages:
+    def test_request_ids_unique(self):
+        a = HttpRequest(fanout=1, response_size=10)
+        b = HttpRequest(fanout=1, response_size=10)
+        assert a.request_id != b.request_id
+
+    def test_wire_sizes_positive(self):
+        req = HttpRequest(fanout=3, response_size=100)
+        resp = HttpResponse(request_id=req.request_id, payload_size=300)
+        q = Query(request_id=1, shard_id=0, op="get", response_size=100)
+        qr = QueryResponse(request_id=1, shard_id=0, payload_size=100)
+        for msg in (req, resp, q, qr):
+            assert msg.wire_size > 0
+
+    def test_http_response_includes_payload(self):
+        small = HttpResponse(request_id=1, payload_size=0)
+        large = HttpResponse(request_id=1, payload_size=10_000)
+        assert large.wire_size - small.wire_size == 10_000
+
+    def test_query_response_carries_context(self):
+        ctx = object()
+        qr = QueryResponse(request_id=1, shard_id=2, payload_size=10,
+                           context=ctx)
+        assert qr.context is ctx
+
+
+class TestRecordSchema:
+    def test_ycsb_geometry(self):
+        schema = RecordSchema(field_count=10, field_size=100)
+        assert schema.record_bytes == 1000
+        assert record_size(schema) == 1000 + schema.key_size
+        assert schema.field_names() == tuple(f"field{i}" for i in range(10))
+
+    def test_materialize_deterministic(self):
+        schema = RecordSchema(field_count=3, field_size=16)
+        a = materialize_record(schema, "user1")
+        b = materialize_record(schema, "user1")
+        assert a == b
+        assert all(len(v) == 16 for v in a.values())
+
+    def test_materialize_distinct_per_key_and_field(self):
+        schema = RecordSchema(field_count=2, field_size=16)
+        a = materialize_record(schema, "user1")
+        b = materialize_record(schema, "user2")
+        assert a["field0"] != b["field0"]
+        assert a["field0"] != a["field1"]
+
+
+@given(st.integers(min_value=1, max_value=32),
+       st.integers(min_value=1, max_value=512))
+def test_record_sizes_consistent(field_count, field_size):
+    """Property: materialised bytes always match the schema's claim."""
+    schema = RecordSchema(field_count=field_count, field_size=field_size)
+    record = materialize_record(schema, "k")
+    assert sum(len(v) for v in record.values()) == schema.record_bytes

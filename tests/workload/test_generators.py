@@ -1,0 +1,110 @@
+"""Tests for the closed-loop and open-loop workload generators."""
+
+import pytest
+
+from repro.core.doubleface import DoubleFaceServer
+from repro.datastore.cluster import DatastoreCluster
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.rng import RngStreams
+from repro.workload.closed_loop import ClosedLoopWorkload
+from repro.workload.open_loop import PoissonWorkload
+from repro.workload.profiles import uniform_profile
+
+
+def build_env(seed=42, **param_overrides):
+    sim = Simulator()
+    metrics = Metrics()
+    params = CostParams().with_overrides(**param_overrides)
+    rng = RngStreams(seed)
+    cluster = DatastoreCluster(sim, metrics, params, rng, n_shards=4)
+    server = DoubleFaceServer(sim, metrics, params, cluster, rng, reactors=1)
+    server.start()
+    return sim, metrics, params, server, rng
+
+
+class TestClosedLoop:
+    def test_drives_requests_and_records_latency(self):
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(2, 100)
+        workload = ClosedLoopWorkload(sim, metrics, params, server, profile,
+                                      concurrency=5, rng_streams=rng)
+        workload.start()
+        sim.run(until=0.5)
+        completed = metrics.raw_count("client.completed")
+        assert completed > 50
+        assert metrics.latency("client.rt").raw_count == completed
+
+    def test_concurrency_bounds_in_flight(self):
+        """Closed loop: in-flight requests never exceed the user count."""
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(2, 100)
+        workload = ClosedLoopWorkload(sim, metrics, params, server, profile,
+                                      concurrency=3, rng_streams=rng)
+        workload.start()
+        sim.run(until=0.5)
+        sent = metrics.raw_count("server.requests")
+        done = metrics.raw_count("client.completed")
+        assert sent - done <= 3
+
+    def test_rejects_bad_concurrency_and_double_start(self):
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(1, 100)
+        with pytest.raises(ValueError):
+            ClosedLoopWorkload(sim, metrics, params, server, profile,
+                               concurrency=0, rng_streams=rng)
+        workload = ClosedLoopWorkload(sim, metrics, params, server, profile,
+                                      concurrency=1, rng_streams=rng)
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim, metrics, params, server, rng = build_env(seed=seed)
+            profile = uniform_profile(2, 100)
+            ClosedLoopWorkload(sim, metrics, params, server, profile,
+                               concurrency=4, rng_streams=rng).start()
+            sim.run(until=0.3)
+            return metrics.raw_count("client.completed")
+
+        assert run(7) == run(7)
+
+
+class TestOpenLoop:
+    def test_rate_tracks_users_over_think_time(self):
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(2, 100)
+        workload = PoissonWorkload(sim, metrics, params, server, profile,
+                                   users=100, think_time_mean=1.0,
+                                   rng_streams=rng)
+        assert workload.offered_rate == pytest.approx(100.0)
+        workload.start()
+        sim.run(until=5.0)
+        rate = metrics.raw_count("client.completed") / 5.0
+        # Response times are tiny relative to think time, so the
+        # completion rate approximates users/think.
+        assert rate == pytest.approx(100.0, rel=0.15)
+
+    def test_validation(self):
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(1, 100)
+        with pytest.raises(ValueError):
+            PoissonWorkload(sim, metrics, params, server, profile,
+                            users=0, think_time_mean=1.0, rng_streams=rng)
+        with pytest.raises(ValueError):
+            PoissonWorkload(sim, metrics, params, server, profile,
+                            users=1, think_time_mean=0.0, rng_streams=rng)
+
+    def test_arrivals_are_spread_not_synchronized(self):
+        """Session start staggering: arrivals in the first think period
+        should not all land at once."""
+        sim, metrics, params, server, rng = build_env()
+        profile = uniform_profile(1, 100)
+        PoissonWorkload(sim, metrics, params, server, profile,
+                        users=50, think_time_mean=2.0,
+                        rng_streams=rng).start()
+        sim.run(until=1.0)
+        first_wave = metrics.raw_count("server.requests")
+        assert 5 < first_wave < 50

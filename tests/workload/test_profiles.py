@@ -1,0 +1,84 @@
+"""Unit tests for request-mix profiles."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.profiles import (RequestClass, WorkloadProfile,
+                                     lfan_sfan_profile, uniform_profile)
+
+
+class TestRequestClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestClass("bad", 0)
+        with pytest.raises(ValueError):
+            RequestClass("bad", 5, weight=0.0)
+
+
+class TestWorkloadProfile:
+    def test_requires_classes_and_size(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(classes=[], response_size=100)
+        with pytest.raises(ValueError):
+            WorkloadProfile(classes=[RequestClass("a", 1)], response_size=0)
+
+    def test_uniform_profile_single_class(self):
+        profile = uniform_profile(fanout=5, response_size=100)
+        rng = random.Random(1)
+        for _ in range(20):
+            req = profile.make_request(rng)
+            assert req.fanout == 5
+            assert req.response_size == 100
+            assert req.klass == "default"
+        assert profile.max_fanout == 5
+        assert profile.mean_fanout == 5.0
+
+    def test_lfan_sfan_mix_ratio(self):
+        profile = lfan_sfan_profile(5, 3, 100, lfan_share=0.5)
+        rng = random.Random(1)
+        counts = Counter(profile.make_request(rng).klass
+                         for _ in range(4000))
+        assert counts["Lfan"] == pytest.approx(2000, rel=0.1)
+        assert counts["Sfan"] == pytest.approx(2000, rel=0.1)
+        assert profile.max_fanout == 5
+        assert profile.mean_fanout == pytest.approx(4.0)
+
+    def test_lfan_share_validation(self):
+        with pytest.raises(ValueError):
+            lfan_sfan_profile(5, 3, 100, lfan_share=1.0)
+
+    def test_key_chooser_attaches_keys(self):
+        keys = iter(f"key{i}" for i in range(100))
+        profile = uniform_profile(3, 100, key_chooser=lambda: next(keys))
+        req = profile.make_request(random.Random(1))
+        assert req.keys == ["key0", "key1", "key2"]
+
+    def test_no_keys_by_default(self):
+        profile = uniform_profile(3, 100)
+        req = profile.make_request(random.Random(1))
+        assert req.keys is None
+
+    def test_unique_request_ids(self):
+        profile = uniform_profile(2, 100)
+        rng = random.Random(1)
+        ids = {profile.make_request(rng).request_id for _ in range(50)}
+        assert len(ids) == 50
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.05, max_value=0.95),
+       st.integers(min_value=0, max_value=2**31))
+def test_mix_only_produces_declared_classes(lfan, sfan, share, seed):
+    """Property: every drawn request belongs to a declared class and has
+    that class's fanout."""
+    profile = lfan_sfan_profile(lfan, sfan, 256, lfan_share=share)
+    rng = random.Random(seed)
+    fanout_by_class = {"Lfan": lfan, "Sfan": sfan}
+    for _ in range(30):
+        req = profile.make_request(rng)
+        assert req.klass in fanout_by_class
+        assert req.fanout == fanout_by_class[req.klass]
