@@ -1,0 +1,165 @@
+"""Kernel / metrics micro-benchmarks with a perf-trajectory file.
+
+Measures the hot paths the exhibit harness spends its time in:
+
+- ``timeout_events_per_sec`` — pure kernel: many processes chaining
+  short timeouts (heap push/pop, ``Process._resume``, callbacks).
+- ``queue_events_per_sec`` — kernel + :class:`repro.sim.resources.Queue`
+  hand-off (producer/consumer pairs, the reactor-mailbox pattern).
+- ``percentile_query_sec`` — ``LatencyRecorder.cdf_points`` over the
+  harness's six percentiles on a large sample set (the sorted-window
+  cache target).
+- ``quick_exhibit_wall_sec`` — one representative end-to-end quick
+  exhibit (``tab3``) through :func:`run_exhibit`.
+
+Each run appends an entry to ``benchmarks/BENCH_core.json`` so future
+PRs can diff events/sec against every earlier recording::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --label my-change
+
+Use ``--no-exhibit`` for a fast kernel-only pass, ``--dry-run`` to
+print without touching the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.resources import Queue
+
+BENCH_FILE = Path(__file__).resolve().parent / "BENCH_core.json"
+
+#: The percentile set every ExperimentResult reports.
+PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0, 99.9)
+
+
+def bench_timeouts(processes: int = 50, chain: int = 2000) -> float:
+    """Events/sec for *processes* generators each chaining *chain*
+    timeouts."""
+
+    def pingpong(sim, n):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim = Simulator()
+    for _ in range(processes):
+        sim.process(pingpong(sim, chain))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return sim._event_count / elapsed
+
+
+def bench_queue_handoff(pairs: int = 20, items: int = 5000) -> float:
+    """Events/sec for producer/consumer pairs trading items through a
+    Queue (the reactor-mailbox hot path)."""
+
+    def producer(sim, queue, n):
+        for i in range(n):
+            queue.put(i)
+            yield sim.timeout(0.0001)
+
+    def consumer(sim, queue, n):
+        for _ in range(n):
+            yield queue.get()
+
+    sim = Simulator()
+    for _ in range(pairs):
+        queue = Queue(sim)
+        sim.process(producer(sim, queue, items))
+        sim.process(consumer(sim, queue, items))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return sim._event_count / elapsed
+
+
+def bench_percentiles(samples: int = 200_000, repeats: int = 20) -> float:
+    """Seconds for *repeats* full cdf_points queries over *samples*
+    recorded latencies (lower is better)."""
+    recorder = LatencyRecorder()
+    # Deterministic pseudo-random values; no RNG dependency needed.
+    value = 0.5
+    for i in range(samples):
+        value = (value * 1103515245 + 12345) % 1.0 + 1e-9
+        recorder.record(i * 1e-4, value)
+    recorder.start_at = samples * 1e-4 * 0.2  # discard a warm-up fifth
+    started = time.perf_counter()
+    for _ in range(repeats):
+        recorder.cdf_points(PERCENTILES)
+        recorder.mean()
+        recorder.maximum()
+        len(recorder)
+    return time.perf_counter() - started
+
+
+def bench_quick_exhibit() -> float:
+    """Wall-clock seconds for one representative quick exhibit."""
+    from repro.experiments.figures import run_exhibit
+
+    started = time.perf_counter()
+    run_exhibit("tab3", quick=True, seed=42)
+    return time.perf_counter() - started
+
+
+def run_all(with_exhibit: bool = True) -> dict:
+    metrics = {
+        "timeout_events_per_sec": round(bench_timeouts()),
+        "queue_events_per_sec": round(bench_queue_handoff()),
+        "percentile_query_sec": round(bench_percentiles(), 4),
+    }
+    if with_exhibit:
+        metrics["quick_exhibit_wall_sec"] = round(bench_quick_exhibit(), 2)
+    return metrics
+
+
+def load_trajectory() -> dict:
+    if BENCH_FILE.exists():
+        return json.loads(BENCH_FILE.read_text())
+    return {"benchmark": "bench_kernel", "entries": []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="unlabelled",
+                        help="entry label recorded in BENCH_core.json")
+    parser.add_argument("--no-exhibit", action="store_true",
+                        help="skip the end-to-end quick-exhibit timing")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print results without updating the file")
+    args = parser.parse_args(argv)
+
+    metrics = run_all(with_exhibit=not args.no_exhibit)
+    entry = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+    for key, value in metrics.items():
+        print(f"{key:28s} {value}")
+
+    trajectory = load_trajectory()
+    baseline = trajectory["entries"][0] if trajectory["entries"] else None
+    if baseline is not None:
+        base = baseline["metrics"].get("timeout_events_per_sec")
+        if base:
+            speedup = metrics["timeout_events_per_sec"] / base
+            print(f"{'vs baseline (timeouts)':28s} {speedup:.2f}x "
+                  f"({baseline['label']})")
+    if not args.dry_run:
+        trajectory["entries"].append(entry)
+        BENCH_FILE.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(f"appended to {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@ module-level function per paper exhibit."""
 
 from .config import DATASTORE_KINDS, SERVER_KINDS, ExperimentConfig, ExperimentResult
 from .figures import EXHIBITS, ExhibitResult, run_exhibit
+from .parallel import resolve_jobs, run_experiments
 from .report import normalize, render_series, render_table
 from .runner import PERCENTILES, build_params, run_experiment
 
@@ -10,5 +11,5 @@ __all__ = [
     "DATASTORE_KINDS", "SERVER_KINDS", "ExperimentConfig",
     "ExperimentResult", "EXHIBITS", "ExhibitResult", "run_exhibit",
     "normalize", "render_series", "render_table", "PERCENTILES",
-    "build_params", "run_experiment",
+    "build_params", "run_experiment", "run_experiments", "resolve_jobs",
 ]

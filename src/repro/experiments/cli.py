@@ -31,11 +31,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="full measurement windows and grids (slower, smoother)")
     parser.add_argument("--seed", type=int, default=42,
                         help="root RNG seed (default 42)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment grid (default 1 = "
+             "serial; 0 = one per CPU).  Results are identical for any "
+             "N — points fan out but merge in declared order.")
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         if name not in EXHIBITS:
@@ -44,7 +52,8 @@ def main(argv=None) -> int:
             return 2
     for name in names:
         started = time.time()
-        result = run_exhibit(name, quick=not args.full, seed=args.seed)
+        result = run_exhibit(name, quick=not args.full, seed=args.seed,
+                             jobs=args.jobs)
         elapsed = time.time() - started
         print(result.text)
         print(f"[{name} regenerated in {elapsed:.1f}s wall time]")

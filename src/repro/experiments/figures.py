@@ -1,10 +1,13 @@
 """One function per paper exhibit (figure or table).
 
-Every exhibit builds its experiment grid, runs it through
-:func:`repro.experiments.runner.run_experiment`, and returns an
-:class:`ExhibitResult` holding both the rendered text (the same
-rows/series the paper reports) and the raw data (asserted on by the
-benchmark suite).
+Every exhibit *declares* its experiment grid as a flat list of
+(key, :class:`ExperimentConfig`) points, fans the configs out through
+:func:`repro.experiments.parallel.run_experiments` (``jobs`` workers;
+``jobs=1`` is the serial fallback with identical results), and then
+assembles an :class:`ExhibitResult` holding both the rendered text (the
+same rows/series the paper reports) and the raw data (asserted on by
+the benchmark suite).  Results come back in submission order, so the
+assembly step never depends on completion timing.
 
 ``quick=True`` (the default, used by the pytest-benchmark harness)
 shrinks measurement windows and grids so the whole suite completes in
@@ -14,12 +17,12 @@ minutes; ``quick=False`` (the CLI's ``--full``) uses the full grids.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim.params import KB
 from .config import ExperimentConfig
+from .parallel import run_experiments
 from .report import normalize, render_series, render_table
-from .runner import run_experiment
 
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
@@ -37,6 +40,13 @@ class ExhibitResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
+
+
+def _run_points(points: List[Tuple[Any, ExperimentConfig]],
+                jobs: Optional[int]) -> List[Tuple[Any, Any]]:
+    """Run a declared point list; (key, result) pairs in declared order."""
+    results = run_experiments([config for _key, config in points], jobs=jobs)
+    return [(key, result) for (key, _config), result in zip(points, results)]
 
 
 def _concurrency_grid(quick: bool) -> List[int]:
@@ -59,7 +69,8 @@ def _closed(server: str, datastore: str, conc: int, fanout: int,
 # Figure 4 — thread-based vs asynchronous drivers per datastore family
 # ---------------------------------------------------------------------------
 
-def fig04(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig04(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Throughput vs. workload concurrency for DynamoDB, HBase, and
     MongoDB with thread-based vs. asynchronous drivers (fanout 5,
     0.1 kB responses)."""
@@ -68,22 +79,22 @@ def fig04(quick: bool = True, seed: int = 42) -> ExhibitResult:
     # async driver is the Type-2b AIO backend.
     families = [("dynamodb", "type1"), ("hbase", "type1"),
                 ("mongodb", "aio")]
-    sections = []
-    data: Dict[str, Dict[str, List[float]]] = {}
+    points: List[Tuple[Any, ExperimentConfig]] = []
     for datastore, async_kind in families:
-        series: Dict[str, List[float]] = {f"{datastore}-async": [],
-                                          f"{datastore}-thread": []}
         for conc in grid:
             for label, kind in ((f"{datastore}-async", async_kind),
                                 (f"{datastore}-thread", "threadbased")):
-                result = run_experiment(_closed(
+                points.append(((datastore, label), _closed(
                     kind, datastore, conc, fanout=5, size=100, seed=seed,
-                    quick=quick))
-                series[label].append(result.throughput)
-        data[datastore] = series
-        sections.append(render_series(
-            f"Figure 4 ({datastore}): throughput [req/s] vs concurrency",
-            "conc", grid, series))
+                    quick=quick)))
+    data: Dict[str, Dict[str, List[float]]] = {
+        datastore: {f"{datastore}-async": [], f"{datastore}-thread": []}
+        for datastore, _async_kind in families}
+    for (datastore, label), result in _run_points(points, jobs):
+        data[datastore][label].append(result.throughput)
+    sections = [render_series(
+        f"Figure 4 ({datastore}): throughput [req/s] vs concurrency",
+        "conc", grid, data[datastore]) for datastore, _ in families]
     return ExhibitResult("fig04", "Thread-based vs asynchronous drivers",
                          "\n\n".join(sections),
                          {"concurrency": grid, **data})
@@ -93,28 +104,29 @@ def fig04(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Figure 5 — MongoDB driver comparison across response sizes
 # ---------------------------------------------------------------------------
 
-def fig05(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig05(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """AIOBackend vs NettyBackend vs Threadbased for MongoDB across
     response sizes 20 kB / 1 kB / 0.1 kB (fanout 5)."""
     grid = _concurrency_grid(quick)
     sizes = [(20 * KB, "20kB"), (1 * KB, "1kB"), (100, "0.1kB")]
-    sections = []
-    data: Dict[str, Dict[str, List[float]]] = {}
+    servers = (("AIOBackend", "aio"), ("NettyBackend", "netty"),
+               ("Threadbased", "threadbased"))
+    points: List[Tuple[Any, ExperimentConfig]] = []
     for size, size_label in sizes:
-        series: Dict[str, List[float]] = {}
-        for label, kind in (("AIOBackend", "aio"),
-                            ("NettyBackend", "netty"),
-                            ("Threadbased", "threadbased")):
-            series[label] = []
+        for label, kind in servers:
             for conc in grid:
-                result = run_experiment(_closed(
+                points.append(((size_label, label), _closed(
                     kind, "mongodb", conc, fanout=5, size=size, seed=seed,
-                    quick=quick))
-                series[label].append(result.throughput)
-        data[size_label] = series
-        sections.append(render_series(
-            f"Figure 5 ({size_label} responses): throughput [req/s]",
-            "conc", grid, series))
+                    quick=quick)))
+    data: Dict[str, Dict[str, List[float]]] = {
+        size_label: {label: [] for label, _kind in servers}
+        for _size, size_label in sizes}
+    for (size_label, label), result in _run_points(points, jobs):
+        data[size_label][label].append(result.throughput)
+    sections = [render_series(
+        f"Figure 5 ({size_label} responses): throughput [req/s]",
+        "conc", grid, data[size_label]) for _size, size_label in sizes]
     return ExhibitResult("fig05", "MongoDB drivers across response sizes",
                          "\n\n".join(sections),
                          {"concurrency": grid, **data})
@@ -124,16 +136,17 @@ def fig05(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Table 1 — perf breakdown at 20 kB
 # ---------------------------------------------------------------------------
 
-def tab1(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def tab1(quick: bool = True, seed: int = 42,
+         jobs: Optional[int] = 1) -> ExhibitResult:
     """Context switches, running threads, lock and thread-init CPU for
     AIOBackend / NettyBackend / Threadbased (conc 100, fanout 5, 20 kB)."""
     duration = 4.0 if quick else 10.0
-    results = {}
-    for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty"),
-                        ("Threadbased", "threadbased")):
-        results[label] = run_experiment(ExperimentConfig(
-            server=kind, concurrency=100, fanout=5, response_size=20 * KB,
-            warmup=2.0, duration=duration, seed=seed))
+    points = [(label, ExperimentConfig(
+        server=kind, concurrency=100, fanout=5, response_size=20 * KB,
+        warmup=2.0, duration=duration, seed=seed))
+        for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty"),
+                            ("Threadbased", "threadbased"))]
+    results = dict(_run_points(points, jobs))
     headers = ["metric"] + list(results.keys())
     rows = [
         ["Throughput [req/s]"] + [round(r.throughput) for r in results.values()],
@@ -166,19 +179,22 @@ def tab1(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Figure 7 — AIO vs Netty normalized throughput across fanout (20 kB)
 # ---------------------------------------------------------------------------
 
-def fig07(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig07(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Normalized throughput (NettyBackend = 1.0) vs fanout factor at
     20 kB responses, concurrency 100."""
     fanouts = [1, 5, 20]
     duration = 3.0 if quick else 8.0
-    series: Dict[str, List[float]] = {"NettyBackend": [], "AIOBackend": []}
+    points: List[Tuple[Any, ExperimentConfig]] = []
     for fanout in fanouts:
         for label, kind in (("NettyBackend", "netty"), ("AIOBackend", "aio")):
-            result = run_experiment(ExperimentConfig(
+            points.append((label, ExperimentConfig(
                 server=kind, concurrency=100, fanout=fanout,
                 response_size=20 * KB, warmup=2.0, duration=duration,
-                seed=seed))
-            series[label].append(result.throughput)
+                seed=seed)))
+    series: Dict[str, List[float]] = {"NettyBackend": [], "AIOBackend": []}
+    for label, result in _run_points(points, jobs):
+        series[label].append(result.throughput)
     norm = normalize(series, "NettyBackend")
     text = render_series(
         "Figure 7: normalized throughput vs fanout (20kB, conc 100)",
@@ -192,17 +208,17 @@ def fig07(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Table 2 — select() overhead at 0.1 kB
 # ---------------------------------------------------------------------------
 
-def tab2(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def tab2(quick: bool = True, seed: int = 42,
+         jobs: Optional[int] = 1) -> ExhibitResult:
     """select() counts and CPU share, AIOBackend vs NettyBackend
     (conc 100, fanout 5, 0.1 kB).  The paper reports a 30 s runtime; we
     report per-30s-equivalent counts."""
     duration = 1.5 if quick else 5.0
-    results = {}
-    for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty")):
-        results[label] = run_experiment(ExperimentConfig(
-            server=kind, concurrency=100, fanout=5, response_size=100,
-            warmup=0.5, duration=duration, seed=seed))
-    scale = 30.0 / duration
+    points = [(label, ExperimentConfig(
+        server=kind, concurrency=100, fanout=5, response_size=100,
+        warmup=0.5, duration=duration, seed=seed))
+        for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty"))]
+    results = dict(_run_points(points, jobs))
     headers = ["metric"] + list(results.keys())
     rows = [
         ["Throughput [req/s]"] + [round(r.throughput)
@@ -230,16 +246,17 @@ def tab2(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Table 3 — Netty backend-reactor-count sensitivity
 # ---------------------------------------------------------------------------
 
-def tab3(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def tab3(quick: bool = True, seed: int = 42,
+         jobs: Optional[int] = 1) -> ExhibitResult:
     """NettyBackend with 1 / 2 / 4 backend reactors: throughput and
     per-side select() efficiency (conc 100, fanout 5, 0.1 kB)."""
     duration = 1.5 if quick else 5.0
     cases = [("OneCase", 1), ("TwoCase", 2), ("FourCase", 4)]
-    results = {}
-    for label, n in cases:
-        results[label] = run_experiment(ExperimentConfig(
-            server="netty", backend_reactors=n, concurrency=100, fanout=5,
-            response_size=100, warmup=0.5, duration=duration, seed=seed))
+    points = [(label, ExperimentConfig(
+        server="netty", backend_reactors=n, concurrency=100, fanout=5,
+        response_size=100, warmup=0.5, duration=duration, seed=seed))
+        for label, n in cases]
+    results = dict(_run_points(points, jobs))
     scale = 30.0 / duration
 
     def split(r):
@@ -286,18 +303,20 @@ def tab3(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Figure 9 — running-thread timelines
 # ---------------------------------------------------------------------------
 
-def fig09(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig09(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Concurrently-running-thread timeline, NettyBackend vs AIOBackend
     (conc 100, fanout 5, 20 kB)."""
     duration = 4.0 if quick else 10.0
     sample = 0.1
+    points = [(label, ExperimentConfig(
+        server=kind, concurrency=100, fanout=5, response_size=20 * KB,
+        warmup=2.0, duration=duration, seed=seed,
+        thread_sample_period=sample))
+        for label, kind in (("NettyBackend", "netty"), ("AIOBackend", "aio"))]
     samples = {}
     stats = {}
-    for label, kind in (("NettyBackend", "netty"), ("AIOBackend", "aio")):
-        result = run_experiment(ExperimentConfig(
-            server=kind, concurrency=100, fanout=5, response_size=20 * KB,
-            warmup=2.0, duration=duration, seed=seed,
-            thread_sample_period=sample))
+    for label, result in _run_points(points, jobs):
         samples[label] = result.thread_samples
         values = [v for (_t, v) in result.thread_samples]
         stats[label] = {
@@ -324,27 +343,34 @@ def fig09(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Figure 13 — DoubleFaceNetty vs baselines across fanout and size
 # ---------------------------------------------------------------------------
 
-def fig13(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig13(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Normalized throughput (DoubleFaceNetty = 1.0) across fanout
     factors 1/5/10/20 at 0.1 kB and 20 kB, concurrency 20."""
     fanouts = [1, 5, 20] if quick else [1, 5, 10, 20]
-    sections = []
-    data = {}
-    for size, size_label in ((100, "0.1kB"), (20 * KB, "20kB")):
+    servers = (("DoubleFaceNetty", "doubleface"), ("NettyBackend", "netty"),
+               ("AIOBackend", "aio"))
+    sizes = ((100, "0.1kB"), (20 * KB, "20kB"))
+    points: List[Tuple[Any, ExperimentConfig]] = []
+    for size, size_label in sizes:
         slow = size >= 4 * KB
         duration = (3.0 if quick else 8.0) if slow else (1.5 if quick else 4.0)
         warmup = 1.5 if slow else 0.5
-        series: Dict[str, List[float]] = {}
-        for label, kind in (("DoubleFaceNetty", "doubleface"),
-                            ("NettyBackend", "netty"),
-                            ("AIOBackend", "aio")):
-            series[label] = []
+        for label, kind in servers:
             for fanout in fanouts:
-                result = run_experiment(ExperimentConfig(
+                points.append(((size_label, label), ExperimentConfig(
                     server=kind, concurrency=20, fanout=fanout,
                     response_size=size, warmup=warmup, duration=duration,
-                    seed=seed))
-                series[label].append(result.throughput)
+                    seed=seed)))
+    throughput: Dict[str, Dict[str, List[float]]] = {
+        size_label: {label: [] for label, _kind in servers}
+        for _size, size_label in sizes}
+    for (size_label, label), result in _run_points(points, jobs):
+        throughput[size_label][label].append(result.throughput)
+    sections = []
+    data = {}
+    for _size, size_label in sizes:
+        series = throughput[size_label]
         norm = normalize(series, "DoubleFaceNetty")
         data[size_label] = {"throughput": series, "normalized": norm}
         sections.append(render_series(
@@ -359,36 +385,45 @@ def fig13(quick: bool = True, seed: int = 42) -> ExhibitResult:
 # Figure 14 — CPU utilisation under RUBBoS-style open workload
 # ---------------------------------------------------------------------------
 
-def fig14(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig14(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """CPU utilisation vs. number of emulated users (fanout 20), for
     0.1 kB and 20 kB responses."""
-    sections = []
-    data = {}
+    servers = (("DoubleFaceNetty", "doubleface"), ("NettyBackend", "netty"),
+               ("AIOBackend", "aio"))
     cases = [
         # (size, label, users grid, think time, request business CPU)
         (100, "0.1kB", [100, 200, 300, 350], 0.32, 0.5e-3),
         (20 * KB, "20kB", [100, 200, 300], 6.5, 0.5e-3),
     ]
+    duration = 6.0 if quick else 20.0
+    grids: Dict[str, List[int]] = {}
+    points: List[Tuple[Any, ExperimentConfig]] = []
     for size, size_label, users_grid, think, request_cpu in cases:
         if quick:
             users_grid = users_grid[1::2] if size_label == "0.1kB" else users_grid[::2]
-        duration = 6.0 if quick else 20.0
-        series: Dict[str, List[float]] = {}
-        for label, kind in (("DoubleFaceNetty", "doubleface"),
-                            ("NettyBackend", "netty"),
-                            ("AIOBackend", "aio")):
-            series[label] = []
+        grids[size_label] = users_grid
+        for label, kind in servers:
             for users in users_grid:
-                result = run_experiment(ExperimentConfig(
+                points.append(((size_label, label), ExperimentConfig(
                     server=kind, workload="open", users=users,
                     think_time=think, fanout=20, response_size=size,
                     warmup=2.0, duration=duration, seed=seed,
-                    params={"request_cpu": request_cpu}))
-                series[label].append(round(100 * result.cpu_utilization, 1))
-        data[size_label] = {"users": users_grid, "cpu_util": series}
+                    params={"request_cpu": request_cpu})))
+    cpu_util: Dict[str, Dict[str, List[float]]] = {
+        size_label: {label: [] for label, _kind in servers}
+        for _size, size_label, *_rest in cases}
+    for (size_label, label), result in _run_points(points, jobs):
+        cpu_util[size_label][label].append(
+            round(100 * result.cpu_utilization, 1))
+    sections = []
+    data = {}
+    for _size, size_label, *_rest in cases:
+        data[size_label] = {"users": grids[size_label],
+                            "cpu_util": cpu_util[size_label]}
         sections.append(render_series(
             f"Figure 14 ({size_label}): CPU utilisation [%] vs users "
-            "(fanout 20)", "users", users_grid, series))
+            "(fanout 20)", "users", grids[size_label], cpu_util[size_label]))
     return ExhibitResult("fig14", "CPU overhead comparison",
                          "\n\n".join(sections), data)
 
@@ -413,26 +448,27 @@ def _tail_exhibit(exhibit: str, title: str, lfan: int, sfan: int,
                   request_cpu: float = 0.3e-3,
                   request_cpu_cv: float = 0.5,
                   response_cpu: float = 1.2e-3,
-                  assemble_cpu: float = 0.3e-3) -> ExhibitResult:
+                  assemble_cpu: float = 0.3e-3,
+                  jobs: Optional[int] = 1) -> ExhibitResult:
     duration = 15.0 if quick else 40.0
-    results = {}
     # RUBBoS-style pages do real per-sub-result business work (fragment
     # handling dominates), datastore service times are heavy-tailed
     # (service_cv=2.5: the shard "variety" that motivates the paper's
     # scheduler), and the app server is reported in its single-core
     # configuration, where reactor-thread contention — the effect under
     # study — is sharpest.
-    for label, kind in TAIL_SERVERS:
-        results[label] = run_experiment(ExperimentConfig(
-            server=kind, workload="open", users=users, think_time=think,
-            lfan=lfan, sfan=sfan, response_size=size, reactors=1,
-            large_shards=large_shards, warmup=4.0, duration=duration,
-            seed=seed, params={"app_cores": 1,
-                               "request_cpu": request_cpu,
-                               "request_cpu_cv": request_cpu_cv,
-                               "response_base_cost": response_cpu,
-                               "assemble_base_cost": assemble_cpu,
-                               "service_cv": 2.5}))
+    points = [(label, ExperimentConfig(
+        server=kind, workload="open", users=users, think_time=think,
+        lfan=lfan, sfan=sfan, response_size=size, reactors=1,
+        large_shards=large_shards, warmup=4.0, duration=duration,
+        seed=seed, params={"app_cores": 1,
+                           "request_cpu": request_cpu,
+                           "request_cpu_cv": request_cpu_cv,
+                           "response_base_cost": response_cpu,
+                           "assemble_base_cost": assemble_cpu,
+                           "service_cv": 2.5}))
+        for label, kind in TAIL_SERVERS]
+    results = dict(_run_points(points, jobs))
     series = {label: [1e3 * r.percentiles[q] for q in TAIL_PERCENTILES]
               for label, r in results.items()}
     text = render_series(
@@ -453,35 +489,37 @@ def _tail_exhibit(exhibit: str, title: str, lfan: int, sfan: int,
          for label, r in results.items()})
 
 
-def fig15(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig15(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Percentile response time on YCSB with the fanout-aware scheduler:
     (a) Lfan/Sfan = 5/3 and (b) 7/1."""
     a = _tail_exhibit("fig15a", "Figure 15(a) Lfan/Sfan=5/3", 5, 3, 100,
-                      False, quick, seed)
+                      False, quick, seed, jobs=jobs)
     b = _tail_exhibit("fig15b", "Figure 15(b) Lfan/Sfan=7/1", 7, 1, 100,
-                      False, quick, seed)
+                      False, quick, seed, jobs=jobs)
     return ExhibitResult("fig15", "Scheduler tail-latency gains",
                          a.text + "\n\n" + b.text,
                          {"a": a.data, "b": b.data})
 
 
-def fig16(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig16(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Figure 15(a)'s experiment with 10 GB shards (slower datastore
     service times)."""
     return _tail_exhibit("fig16", "Figure 16: large (10GB) shards",
-                         5, 3, 100, True, quick, seed)
+                         5, 3, 100, True, quick, seed, jobs=jobs)
 
 
-def fig17(quick: bool = True, seed: int = 42) -> ExhibitResult:
+def fig17(quick: bool = True, seed: int = 42,
+          jobs: Optional[int] = 1) -> ExhibitResult:
     """Percentile response time on the DBLP dataset (30 kB tuples)."""
-    # DBLP tuples are 30 kB: the payload itself makes response handling
-    # heavy, no extra per-response business cost is needed.
     # DBLP tuples are 30 kB: payload decoding itself is the heavy
     # per-response work, no extra business cost is layered on.
     return _tail_exhibit("fig17", "Figure 17: DBLP dataset", 5, 3,
                          30 * KB, False, quick, seed,
                          users=600, think=8.4, request_cpu=0.3e-3,
-                         response_cpu=12.0e-6, assemble_cpu=0.3e-3)
+                         response_cpu=12.0e-6, assemble_cpu=0.3e-3,
+                         jobs=jobs)
 
 
 #: Registry used by the CLI and the benchmark suite.
@@ -492,9 +530,15 @@ EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
 }
 
 
-def run_exhibit(name: str, quick: bool = True, seed: int = 42) -> ExhibitResult:
-    """Run one exhibit by name (``fig04`` ... ``tab3``)."""
+def run_exhibit(name: str, quick: bool = True, seed: int = 42,
+                jobs: Optional[int] = 1) -> ExhibitResult:
+    """Run one exhibit by name (``fig04`` ... ``tab3``).
+
+    ``jobs`` is forwarded to the parallel runner: 1 = serial (default),
+    N = fan the exhibit's experiment points over N worker processes,
+    0/None = one worker per CPU.  Results are identical for any value.
+    """
     if name not in EXHIBITS:
         raise KeyError(f"unknown exhibit {name!r}; choose from "
                        f"{sorted(EXHIBITS)}")
-    return EXHIBITS[name](quick=quick, seed=seed)
+    return EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)

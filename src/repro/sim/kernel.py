@@ -26,7 +26,8 @@ byte-identical traces.
 
 from __future__ import annotations
 
-import heapq
+import math
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -94,7 +95,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self.triggered = True
         self._value = value
-        self.sim._schedule(0.0, self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -108,7 +111,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self.triggered = True
         self._exception = exception
-        self.sim._schedule(0.0, self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, seq, self))
         return self
 
     # -- internal ------------------------------------------------------
@@ -134,17 +139,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay."""
+    """An event that triggers automatically after a fixed delay.
+
+    Timeouts are the kernel's hottest allocation (every simulated CPU
+    slice, network hop, and think-time pause is one), so ``__init__``
+    assigns the Event slots and pushes onto the heap directly instead
+    of going through ``Event.__init__`` + ``succeed``.
+    """
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.triggered = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(delay, self)
+        self._exception = None
+        self.triggered = True
+        self.processed = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, seq, self))
 
 
 class Process(Event):
@@ -155,7 +170,7 @@ class Process(Event):
     processes can wait on other processes.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -163,12 +178,20 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise TypeError("Process requires a generator")
         self.generator = generator
+        # Bound-method caches: _resume runs once per event the process
+        # waits on, so shaving the attribute lookups is measurable.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off at the current time.
+        # Kick off at the current time: an already-triggered bootstrap
+        # event whose only callback resumes the generator (pushed onto
+        # the heap directly — equivalent to add_callback + succeed).
         bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.triggered = True
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -179,9 +202,9 @@ class Process(Event):
         self._waiting_on = None
         try:
             if event._exception is not None:
-                target = self.generator.throw(event._exception)
+                target = self._throw(event._exception)
             else:
-                target = self.generator.send(event._value)
+                target = self._send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -204,7 +227,12 @@ class Process(Event):
                 return
             raise exc
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume) — one per yield.
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name} alive={self.is_alive}>"
@@ -316,7 +344,7 @@ class Simulator:
 
     def _schedule(self, delay: float, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heappush(self._heap, (self.now + delay, self._seq, event))
 
     # -- execution --------------------------------------------------------
 
@@ -324,7 +352,7 @@ class Simulator:
         """Process the single next event; return False if none remain."""
         if not self._heap:
             return False
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         self.now = when
         self._event_count += 1
         event._run_callbacks()
@@ -342,15 +370,33 @@ class Simulator:
         a precise width.
         """
         if until is None:
-            while self.step():
-                pass
-            return
-        if until < self.now:
+            bound = math.inf
+        elif until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
+        else:
+            bound = until
+        # One loop for both modes (bound = +inf drains the heap), with
+        # the heap and heappop held in locals.  Callbacks may push onto
+        # the heap but never rebind it, so the local alias stays valid.
+        # _event_count is settled in `finally` so a callback that raises
+        # (e.g. an unobserved process failure) can't lose the tally.
         heap = self._heap
-        while heap and heap[0][0] <= until:
-            when, _seq, event = heapq.heappop(heap)
-            self.now = when
-            self._event_count += 1
-            event._run_callbacks()
-        self.now = until
+        pop = heappop
+        count = 0
+        try:
+            while heap and heap[0][0] <= bound:
+                when, _seq, event = pop(heap)
+                self.now = when
+                count += 1
+                # Inlined Event._run_callbacks (one method call per
+                # event adds up to whole seconds across an exhibit grid).
+                callbacks = event.callbacks
+                event.callbacks = None
+                event.processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+        finally:
+            self._event_count += count
+        if until is not None:
+            self.now = until

@@ -43,11 +43,6 @@ class Queue:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
-    def _pop_getter(self):
-        if self.wake_order == "lifo":
-            return self._getters.pop()
-        return self._getters.popleft()
-
     def __len__(self) -> int:
         return len(self._items)
 
@@ -56,25 +51,30 @@ class Queue:
         """Number of getters currently blocked."""
         return len(self._getters)
 
-    def put(self, item: Any) -> None:
-        """Append *item*; wakes a blocked getter if any."""
-        # Skip getters that were abandoned (e.g. lost a timeout race and
-        # were triggered by the raced timeout path).
-        while self._getters:
-            getter = self._pop_getter()
+    def _handoff(self, item: Any) -> bool:
+        """Hand *item* to the first live blocked getter; False if none.
+
+        Skips getters that were abandoned (e.g. lost a timeout race and
+        were triggered by the raced timeout path).
+        """
+        getters = self._getters
+        pop = getters.pop if self.wake_order == "lifo" else getters.popleft
+        while getters:
+            getter = pop()
             if not getter.triggered:
                 getter.succeed(item)
-                return
-        self._items.append(item)
+                return True
+        return False
+
+    def put(self, item: Any) -> None:
+        """Append *item*; wakes a blocked getter if any."""
+        if not self._getters or not self._handoff(item):
+            self._items.append(item)
 
     def put_front(self, item: Any) -> None:
         """Prepend *item* (used by schedulers re-queueing work)."""
-        while self._getters:
-            getter = self._pop_getter()
-            if not getter.triggered:
-                getter.succeed(item)
-                return
-        self._items.appendleft(item)
+        if not self._getters or not self._handoff(item):
+            self._items.appendleft(item)
 
     def get(self) -> Event:
         """Return an event triggering with the next available item."""

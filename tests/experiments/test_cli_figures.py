@@ -27,16 +27,21 @@ class TestParser:
         assert args.exhibit == "all"
         assert not args.full
         assert args.seed == 42
+        assert args.jobs == 1
 
     def test_flags(self):
         args = build_parser().parse_args(
-            ["--exhibit", "tab2", "--full", "--seed", "7"])
+            ["--exhibit", "tab2", "--full", "--seed", "7", "--jobs", "4"])
         assert args.exhibit == "tab2"
         assert args.full
         assert args.seed == 7
+        assert args.jobs == 4
 
     def test_unknown_exhibit_exit_code(self, capsys):
         assert main(["--exhibit", "nope"]) == 2
+
+    def test_negative_jobs_exit_code(self, capsys):
+        assert main(["--exhibit", "tab2", "--jobs", "-1"]) == 2
 
 
 class TestExhibitRun:
@@ -57,3 +62,11 @@ class TestExhibitRun:
         four_backend_eps = (four["backend_events"]
                             / max(four["backend_selects"], 1))
         assert one_backend_eps > four_backend_eps
+
+    def test_exhibit_parallel_matches_serial(self):
+        """Same seed => identical exhibit (text and data) whether the
+        grid runs serially or over worker processes."""
+        serial = run_exhibit("tab2", quick=True, seed=42, jobs=1)
+        parallel = run_exhibit("tab2", quick=True, seed=42, jobs=2)
+        assert parallel.text == serial.text
+        assert parallel.data == serial.data

@@ -291,6 +291,63 @@ def test_events_fire_in_nondecreasing_time_order(delays):
     assert len(observed) == len(delays)
 
 
+@given(delays=st.lists(st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+                       min_size=1, max_size=60))
+def test_tie_break_stable_under_fast_path(delays):
+    """Property: event ordering is (time, seq) — among events scheduled
+    for the same instant, creation order wins, no matter how ties are
+    distributed.  Guards the run()-loop fast path against any change
+    that would reorder the heap's tie-break."""
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        t = sim.timeout(delay)
+        t.add_callback(
+            lambda e, index=index, delay=delay: fired.append((delay, index)))
+    sim.run()
+    # Sorting the schedule by (time, creation index) must reproduce the
+    # observed firing order exactly.
+    expected = sorted(((d, i) for i, d in enumerate(delays)))
+    assert fired == expected
+    assert sim._event_count == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=4.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=40),
+       until=st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+def test_run_until_matches_step_loop(delays, until):
+    """Property: run(until=...) + run() is observationally identical to
+    a manual step() loop — same firing trace, same _event_count, same
+    clock.  Guards the unified run() loop against the two paths
+    drifting apart."""
+
+    def build():
+        sim = Simulator()
+        trace = []
+        for i, d in enumerate(delays):
+            sim.timeout(d).add_callback(
+                lambda e, i=i: trace.append((sim.now, i)))
+        return sim, trace
+
+    fast_sim, fast_trace = build()
+    fast_sim.run(until=until)
+    mid_now = fast_sim.now
+    fast_sim.run()
+
+    slow_sim, slow_trace = build()
+    while slow_sim.peek() is not None and slow_sim.peek() <= until:
+        slow_sim.step()
+    assert mid_now == until  # run(until) pins the clock
+    slow_sim.now = until     # mirror the pin before draining
+    while slow_sim.step():
+        pass
+
+    assert fast_trace == slow_trace
+    assert fast_sim._event_count == slow_sim._event_count
+    assert fast_sim.now == slow_sim.now
+
+
 @given(st.lists(st.tuples(st.floats(min_value=0, max_value=10,
                                     allow_nan=False),
                           st.integers(min_value=0, max_value=5)),

@@ -53,6 +53,47 @@ class TestLatencyRecorder:
         assert points[0][1] == pytest.approx(50.5)
         assert points[1][1] == pytest.approx(99.01)
 
+    def test_sorted_window_is_cached_across_queries(self):
+        r = LatencyRecorder()
+        for v in (3.0, 1.0, 2.0):
+            r.record(0.0, v)
+        first = r._window_sorted()
+        assert first == [1.0, 2.0, 3.0]
+        # No new samples, no window move: the same list object serves
+        # every percentile/mean/len query.
+        assert r._window_sorted() is first
+
+    def test_cache_invalidated_by_record(self):
+        r = LatencyRecorder()
+        r.record(0.0, 5.0)
+        assert r.percentile(100.0) == 5.0
+        r.record(0.0, 9.0)
+        assert r.percentile(100.0) == 9.0
+        assert r.mean() == pytest.approx(7.0)
+        assert len(r) == 2
+
+    def test_cache_invalidated_by_start_at_change(self):
+        r = LatencyRecorder()
+        r.record(0.5, 100.0)
+        r.record(1.5, 1.0)
+        assert r.maximum() == 100.0
+        r.start_at = 1.0
+        assert r.maximum() == 1.0
+        assert len(r) == 1
+        r.start_at = 0.0
+        assert len(r) == 2
+
+    def test_aggregates_agree_with_uncached_reference(self):
+        r = LatencyRecorder()
+        samples = [(0.1 * i, float((7 * i) % 13)) for i in range(50)]
+        for t, v in samples:
+            r.record(t, v)
+        r.start_at = 2.0
+        reference = [v for (t, v) in samples if t >= 2.0]
+        assert len(r) == len(reference)
+        assert r.mean() == pytest.approx(sum(reference) / len(reference))
+        assert r.maximum() == max(reference)
+
 
 class TestTimeSeries:
     def test_append_and_window(self):
