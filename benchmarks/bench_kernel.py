@@ -3,9 +3,15 @@
 Measures the hot paths the exhibit harness spends its time in:
 
 - ``timeout_events_per_sec`` — pure kernel: many processes chaining
-  short timeouts (heap push/pop, ``Process._resume``, callbacks).
+  short timeouts (calendar-queue push/dispatch, ``Process._resume``,
+  callbacks).
 - ``queue_events_per_sec`` — kernel + :class:`repro.sim.resources.Queue`
   hand-off (producer/consumer pairs, the reactor-mailbox pattern).
+- ``fanout_events_per_sec`` — the paper's headline shape: fanout-20
+  scatter/gather joins via ``CountdownLatch`` + ``call_later`` (one
+  allocation + N integer decrements per request), with
+  ``fanout_allof_events_per_sec`` as the old ``AllOf``-over-N-Timeouts
+  pattern for reference.
 - ``percentile_query_sec`` — ``LatencyRecorder.cdf_points`` over the
   harness's six percentiles on a large sample set (the sorted-window
   cache target).
@@ -18,7 +24,9 @@ PRs can diff events/sec against every earlier recording::
     PYTHONPATH=src python benchmarks/bench_kernel.py --label my-change
 
 Use ``--no-exhibit`` for a fast kernel-only pass, ``--dry-run`` to
-print without touching the trajectory file.
+print without touching the trajectory file, ``--quick`` for the CI
+perf-smoke sizes, and ``--check`` to fail (exit 1) when any events/sec
+metric regresses more than 30% against the latest recorded entry.
 """
 
 from __future__ import annotations
@@ -81,6 +89,43 @@ def bench_queue_handoff(pairs: int = 20, items: int = 5000) -> float:
     return sim._event_count / elapsed
 
 
+def bench_fanout(requests: int = 3000, fanout: int = 20,
+                 use_latch: bool = True) -> float:
+    """Events/sec for fanout-N scatter/gather joins (Figs. 4-8 shape).
+
+    ``use_latch=True`` runs the countdown-latch path: one
+    :class:`CountdownLatch` plus ``fanout`` bare ``call_later`` entries
+    per request.  ``use_latch=False`` reproduces the pre-latch pattern:
+    an ``AllOf`` over ``fanout`` Timeout child events (one Event
+    allocation + callback registration per sub-query).  Both dispatch
+    ``fanout + 1`` kernel events per request, so the rates compare
+    apples to apples.
+    """
+
+    def driver_allof(sim, n, width):
+        for _ in range(n):
+            children = [sim.timeout(0.0001 * (1 + i % 5))
+                        for i in range(width)]
+            yield sim.all_of(children)
+
+    def driver_latch(sim, n, width):
+        for _ in range(n):
+            latch = sim.latch(width)
+            count_down = latch.count_down
+            call_later = sim.call_later
+            for i in range(width):
+                call_later(0.0001 * (1 + i % 5), count_down)
+            yield latch
+
+    sim = Simulator()
+    driver = driver_latch if use_latch else driver_allof
+    sim.process(driver(sim, requests, fanout))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return sim._event_count / elapsed
+
+
 def bench_percentiles(samples: int = 200_000, repeats: int = 20) -> float:
     """Seconds for *repeats* full cdf_points queries over *samples*
     recorded latencies (lower is better)."""
@@ -109,15 +154,68 @@ def bench_quick_exhibit() -> float:
     return time.perf_counter() - started
 
 
-def run_all(with_exhibit: bool = True) -> dict:
-    metrics = {
-        "timeout_events_per_sec": round(bench_timeouts()),
-        "queue_events_per_sec": round(bench_queue_handoff()),
-        "percentile_query_sec": round(bench_percentiles(), 4),
-    }
+def run_all(with_exhibit: bool = True, quick: bool = False) -> dict:
+    # Every events/sec metric is best-of-3: one short run routinely
+    # loses 20%+ to scheduler noise (CI runners especially), and the
+    # max is the least-biased estimator of the machine's actual rate.
+    def best(fn, *args, **kw):
+        return max(fn(*args, **kw) for _ in range(3))
+
+    if quick:
+        # Sized so per-event rates land within a few percent of the
+        # full-size runs (interpreter warm-up amortized) while the whole
+        # quick pass stays a few seconds — tight enough for the CI
+        # check's 30% regression band to be meaningful.
+        metrics = {
+            "timeout_events_per_sec": round(best(bench_timeouts, 50, 1000)),
+            "queue_events_per_sec": round(best(bench_queue_handoff, 20, 2500)),
+            "fanout_events_per_sec": round(best(bench_fanout, 1500)),
+            "fanout_allof_events_per_sec": round(
+                best(bench_fanout, 1500, use_latch=False)),
+            "percentile_query_sec": round(bench_percentiles(50_000, 5), 4),
+        }
+    else:
+        metrics = {
+            "timeout_events_per_sec": round(best(bench_timeouts)),
+            "queue_events_per_sec": round(best(bench_queue_handoff)),
+            "fanout_events_per_sec": round(best(bench_fanout)),
+            "fanout_allof_events_per_sec": round(
+                best(bench_fanout, use_latch=False)),
+            "percentile_query_sec": round(
+                min(bench_percentiles() for _ in range(3)), 4),
+        }
     if with_exhibit:
         metrics["quick_exhibit_wall_sec"] = round(bench_quick_exhibit(), 2)
     return metrics
+
+
+def check_regression(metrics: dict, trajectory: dict,
+                     threshold: float = 0.70) -> int:
+    """Compare events/sec metrics against the latest recorded entry.
+
+    Returns the number of metrics that regressed below ``threshold``
+    times their baseline (0 = pass).  Metrics the baseline entry does
+    not carry are skipped.
+    """
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print("check: no baseline entries in BENCH_core.json; skipping")
+        return 0
+    baseline = entries[-1]
+    failures = 0
+    for key, value in metrics.items():
+        if not key.endswith("_events_per_sec"):
+            continue
+        base = baseline["metrics"].get(key)
+        if not base:
+            continue
+        ratio = value / base
+        status = "ok" if ratio >= threshold else "REGRESSED"
+        print(f"check {key:28s} {ratio:5.2f}x of {baseline['label']}"
+              f" [{status}]")
+        if ratio < threshold:
+            failures += 1
+    return failures
 
 
 def load_trajectory() -> dict:
@@ -134,9 +232,18 @@ def main(argv=None) -> int:
                         help="skip the end-to-end quick-exhibit timing")
     parser.add_argument("--dry-run", action="store_true",
                         help="print results without updating the file")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI perf-smoke sizes (implies --no-exhibit "
+                             "and --dry-run)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any events/sec metric is <70%% of "
+                             "the latest BENCH_core.json entry")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.no_exhibit = True
+        args.dry_run = True
 
-    metrics = run_all(with_exhibit=not args.no_exhibit)
+    metrics = run_all(with_exhibit=not args.no_exhibit, quick=args.quick)
     entry = {
         "label": args.label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
@@ -154,6 +261,15 @@ def main(argv=None) -> int:
             speedup = metrics["timeout_events_per_sec"] / base
             print(f"{'vs baseline (timeouts)':28s} {speedup:.2f}x "
                   f"({baseline['label']})")
+    latch = metrics.get("fanout_events_per_sec")
+    allof = metrics.get("fanout_allof_events_per_sec")
+    if latch and allof:
+        print(f"{'latch vs AllOf (fanout)':28s} {latch / allof:.2f}x")
+    if args.check:
+        failures = check_regression(metrics, trajectory)
+        if failures:
+            print(f"check FAILED: {failures} metric(s) regressed >30%")
+            return 1
     if not args.dry_run:
         trajectory["entries"].append(entry)
         BENCH_FILE.write_text(json.dumps(trajectory, indent=2) + "\n")

@@ -56,6 +56,16 @@ class ExperimentConfig:
     #: Sample the runnable-thread count every this many seconds
     #: (0 disables the sampler).
     thread_sample_period: float = 0.0
+    #: Copy the raw per-selector stats dicts into the result.  Exhibits
+    #: that only consume the aggregates (``selects_per_sec``,
+    #: ``select_cpu_share``) set this False to shrink the pickled
+    #: ``Pool`` payload; the aggregates are always computed.  Only
+    #: affects what the result carries, never the simulation itself.
+    keep_selector_stats: bool = True
+    #: Record client latencies in the P-squared streaming sketch instead
+    #: of the exact sample store (bounded memory for long windows; the
+    #: reported percentiles become estimates).  Exact is the default.
+    latency_sketch: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:

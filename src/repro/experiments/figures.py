@@ -16,17 +16,25 @@ minutes; ``quick=False`` (the CLI's ``--full``) uses the full grids.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.params import KB
 from .config import ExperimentConfig
-from .parallel import run_experiments
+from .parallel import BatchExecutor, resolve_jobs, run_experiments
 from .report import normalize, render_series, render_table
 
-__all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit",
+__all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
            "fig15", "fig16", "fig17", "tab1", "tab2", "tab3"]
+
+#: When set (by :func:`run_exhibits`), every exhibit's point batch is
+#: routed through this shared executor instead of a private pool, so
+#: points from concurrently running exhibits interleave in one global
+#: work queue.  Set before the exhibit threads start and cleared after
+#: they join, never mutated while they run.
+_BATCH_RUNNER: Optional[Callable[[List[ExperimentConfig]], List[Any]]] = None
 
 
 @dataclass
@@ -45,7 +53,12 @@ class ExhibitResult:
 def _run_points(points: List[Tuple[Any, ExperimentConfig]],
                 jobs: Optional[int]) -> List[Tuple[Any, Any]]:
     """Run a declared point list; (key, result) pairs in declared order."""
-    results = run_experiments([config for _key, config in points], jobs=jobs)
+    runner = _BATCH_RUNNER
+    if runner is not None:
+        results = runner([config for _key, config in points])
+    else:
+        results = run_experiments([config for _key, config in points],
+                                  jobs=jobs)
     return [(key, result) for (key, _config), result in zip(points, results)]
 
 
@@ -60,6 +73,9 @@ def _closed(server: str, datastore: str, conc: int, fanout: int,
     slow = size >= 4 * KB
     warmup = (1.5 if slow else 0.3) + (1.0 if conc >= 256 else 0.0)
     duration = (3.0 if slow else 0.8) if quick else (8.0 if slow else 2.5)
+    # Closed-loop exhibits only chart throughput/percentiles: keep the
+    # pickled result payload small.
+    kw.setdefault("keep_selector_stats", False)
     return ExperimentConfig(
         server=server, datastore=datastore, concurrency=conc, fanout=fanout,
         response_size=size, warmup=warmup, duration=duration, seed=seed, **kw)
@@ -143,7 +159,8 @@ def tab1(quick: bool = True, seed: int = 42,
     duration = 4.0 if quick else 10.0
     points = [(label, ExperimentConfig(
         server=kind, concurrency=100, fanout=5, response_size=20 * KB,
-        warmup=2.0, duration=duration, seed=seed))
+        warmup=2.0, duration=duration, seed=seed,
+        keep_selector_stats=False))
         for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty"),
                             ("Threadbased", "threadbased"))]
     results = dict(_run_points(points, jobs))
@@ -191,7 +208,7 @@ def fig07(quick: bool = True, seed: int = 42,
             points.append((label, ExperimentConfig(
                 server=kind, concurrency=100, fanout=fanout,
                 response_size=20 * KB, warmup=2.0, duration=duration,
-                seed=seed)))
+                seed=seed, keep_selector_stats=False)))
     series: Dict[str, List[float]] = {"NettyBackend": [], "AIOBackend": []}
     for label, result in _run_points(points, jobs):
         series[label].append(result.throughput)
@@ -216,7 +233,8 @@ def tab2(quick: bool = True, seed: int = 42,
     duration = 1.5 if quick else 5.0
     points = [(label, ExperimentConfig(
         server=kind, concurrency=100, fanout=5, response_size=100,
-        warmup=0.5, duration=duration, seed=seed))
+        warmup=0.5, duration=duration, seed=seed,
+        keep_selector_stats=False))
         for label, kind in (("AIOBackend", "aio"), ("NettyBackend", "netty"))]
     results = dict(_run_points(points, jobs))
     headers = ["metric"] + list(results.keys())
@@ -312,7 +330,7 @@ def fig09(quick: bool = True, seed: int = 42,
     points = [(label, ExperimentConfig(
         server=kind, concurrency=100, fanout=5, response_size=20 * KB,
         warmup=2.0, duration=duration, seed=seed,
-        thread_sample_period=sample))
+        thread_sample_period=sample, keep_selector_stats=False))
         for label, kind in (("NettyBackend", "netty"), ("AIOBackend", "aio"))]
     samples = {}
     stats = {}
@@ -361,7 +379,7 @@ def fig13(quick: bool = True, seed: int = 42,
                 points.append(((size_label, label), ExperimentConfig(
                     server=kind, concurrency=20, fanout=fanout,
                     response_size=size, warmup=warmup, duration=duration,
-                    seed=seed)))
+                    seed=seed, keep_selector_stats=False)))
     throughput: Dict[str, Dict[str, List[float]]] = {
         size_label: {label: [] for label, _kind in servers}
         for _size, size_label in sizes}
@@ -409,6 +427,7 @@ def fig14(quick: bool = True, seed: int = 42,
                     server=kind, workload="open", users=users,
                     think_time=think, fanout=20, response_size=size,
                     warmup=2.0, duration=duration, seed=seed,
+                    keep_selector_stats=False,
                     params={"request_cpu": request_cpu})))
     cpu_util: Dict[str, Dict[str, List[float]]] = {
         size_label: {label: [] for label, _kind in servers}
@@ -461,7 +480,12 @@ def _tail_exhibit(exhibit: str, title: str, lfan: int, sfan: int,
         server=kind, workload="open", users=users, think_time=think,
         lfan=lfan, sfan=sfan, response_size=size, reactors=1,
         large_shards=large_shards, warmup=4.0, duration=duration,
-        seed=seed, params={"app_cores": 1,
+        seed=seed, keep_selector_stats=False,
+        # Full tail windows record millions of latency samples; the
+        # P-squared sketch bounds memory.  Quick runs stay exact so the
+        # regression tests pin exact-mode numbers.
+        latency_sketch=not quick,
+        params={"app_cores": 1,
                            "request_cpu": request_cpu,
                            "request_cpu_cv": request_cpu_cv,
                            "response_base_cost": response_cpu,
@@ -542,3 +566,63 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
         raise KeyError(f"unknown exhibit {name!r}; choose from "
                        f"{sorted(EXHIBITS)}")
     return EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
+
+
+#: Rough relative wall-clock cost of each exhibit (quick mode).  Used
+#: only to start the expensive exhibits first so their long tail-window
+#: points enter the shared queue early; correctness never depends on it.
+_EXHIBIT_COST: Dict[str, int] = {
+    "fig15": 100, "fig16": 60, "fig17": 60, "fig14": 40, "fig05": 30,
+    "fig13": 20, "fig04": 15, "fig09": 10, "fig07": 8,
+    "tab1": 5, "tab2": 4, "tab3": 4,
+}
+
+
+def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
+                 jobs: Optional[int] = 1) -> Dict[str, ExhibitResult]:
+    """Run several exhibits, interleaving their points over one pool.
+
+    With ``jobs > 1`` (or 0/None = per-CPU) every exhibit runs on its
+    own submitter thread and all their (exhibit, key, config) points
+    feed a single shared :class:`BatchExecutor`, so the 15 s tail-window
+    points of fig15-17 overlap with the cheap table grids instead of
+    each exhibit draining the pool in turn.  ``jobs=1`` falls back to
+    running the exhibits serially in-process.  Either way each exhibit's
+    result is identical to a standalone :func:`run_exhibit` call with
+    the same ``quick``/``seed``.
+    """
+    global _BATCH_RUNNER
+    names = list(names)
+    for name in names:
+        if name not in EXHIBITS:
+            raise ValueError(f"unknown exhibit {name!r}; choose from "
+                             f"{sorted(EXHIBITS)}")
+    if resolve_jobs(jobs) <= 1 or len(names) <= 1:
+        return {name: run_exhibit(name, quick=quick, seed=seed, jobs=jobs)
+                for name in names}
+    results: Dict[str, ExhibitResult] = {}
+    errors: Dict[str, BaseException] = {}
+
+    def submit(name: str) -> None:
+        try:
+            results[name] = EXHIBITS[name](quick=quick, seed=seed, jobs=1)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors[name] = exc
+
+    heavy_first = sorted(names, key=lambda n: -_EXHIBIT_COST.get(n, 1))
+    with BatchExecutor(jobs) as executor:
+        _BATCH_RUNNER = executor.run
+        try:
+            threads = [threading.Thread(target=submit, args=(name,),
+                                        name=f"exhibit-{name}")
+                       for name in heavy_first]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            _BATCH_RUNNER = None
+    if errors:
+        name = sorted(errors)[0]
+        raise RuntimeError(f"exhibit {name!r} failed") from errors[name]
+    return {name: results[name] for name in names}

@@ -34,7 +34,8 @@ from typing import Iterable, List, Optional, Sequence
 from .config import ExperimentConfig, ExperimentResult
 from .runner import run_experiment
 
-__all__ = ["run_experiments", "resolve_jobs", "CHUNKS_PER_WORKER"]
+__all__ = ["run_experiments", "resolve_jobs", "BatchExecutor",
+           "CHUNKS_PER_WORKER"]
 
 #: Target number of chunks handed to each worker.  More than one chunk
 #: per worker lets the pool rebalance when points have uneven cost
@@ -76,3 +77,39 @@ def run_experiments(configs: Iterable[ExperimentConfig],
         # deterministic-merge guarantee the exhibits rely on.
         return pool.map(run_experiment, configs,
                         chunksize=_chunksize(len(configs), jobs))
+
+
+class BatchExecutor:
+    """A shared worker pool that several submitters feed config batches
+    into concurrently.
+
+    This is the ``--exhibit all`` interleaving backend: each exhibit
+    runs on its own (cheap, Python-side) thread and submits its point
+    batch here, so the pool sees one global (exhibit, key, config)
+    queue — slow tail-window points overlap with cheap table points
+    instead of the pool draining per exhibit.  ``Pool.apply_async`` is
+    thread-safe, and each batch's results are gathered positionally, so
+    per-exhibit determinism is untouched: every batch returns exactly
+    what :func:`run_experiments` would have returned for it.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        ctx = multiprocessing.get_context("spawn")
+        self._pool = ctx.Pool(processes=self.jobs)
+
+    def run(self, configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
+        """Run one batch; results in the batch's submission order."""
+        handles = [self._pool.apply_async(run_experiment, (config,))
+                   for config in configs]
+        return [handle.get() for handle in handles]
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -94,7 +94,7 @@ def _thread_sampler(sim: Simulator, cpu, metrics: Metrics, period: float):
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one configured experiment and return its measurements."""
     sim = Simulator()
-    metrics = Metrics()
+    metrics = Metrics(latency_sketch=config.latency_sketch)
     params = build_params(config)
     rng = RngStreams(config.seed)
     cluster = DatastoreCluster(
@@ -143,6 +143,10 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
 
     selector_stats: List[Dict] = [s.stats() for s in server.selectors()]
     total_selects = sum(s["selects"] for s in selector_stats)
+    if not config.keep_selector_stats:
+        # The exhibit only reads the aggregates: don't ship the raw
+        # dicts back through the worker-pool pickle.
+        selector_stats = []
     samples = []
     if "cpu.runnable" in metrics.series:
         samples = metrics.series["cpu.runnable"].window(

@@ -12,7 +12,8 @@ Layers (bottom-up):
   — measurement, cost calibration, deterministic randomness.
 """
 
-from .kernel import AllOf, AnyOf, Event, Process, SimulationError, Simulator, Timeout
+from .kernel import (AllOf, AnyOf, CountdownLatch, Event, Process,
+                     SimulationError, Simulator, Timeout)
 from .metrics import CpuAccounting, LatencyRecorder, Metrics, TimeSeries
 from .params import KB, CostParams
 from .resources import Queue, QueueTimeout, Semaphore, queue_get_with_timeout
@@ -23,7 +24,8 @@ from .syscalls import Channel, Selector
 from .network import ChannelEndpoint, Connection, Endpoint, InboxEndpoint, QueueEndpoint
 
 __all__ = [
-    "AllOf", "AnyOf", "Event", "Process", "SimulationError", "Simulator",
+    "AllOf", "AnyOf", "CountdownLatch", "Event", "Process",
+    "SimulationError", "Simulator",
     "Timeout", "CpuAccounting", "LatencyRecorder", "Metrics", "TimeSeries",
     "KB", "CostParams", "Queue", "QueueTimeout", "Semaphore",
     "queue_get_with_timeout", "RngStreams", "lognormal_from_mean_cv", "Cpu",

@@ -203,12 +203,12 @@ class Cpu:
         if slice_len <= 0.0:
             slice_len = min(job.remaining, self.params.quantum)
             core.stint_used = 0.0  # fresh stint after forced preemption
-        timer = self.sim.timeout(extra_delay + slice_len)
-        timer.add_callback(lambda _ev: self._slice_done(core, state, job,
-                                                        slice_len))
+        # Bare-callback entry: no Timeout/closure allocated per slice.
+        self.sim.call_later(extra_delay + slice_len, self._slice_done,
+                            (core, state, job, slice_len))
 
-    def _slice_done(self, core: _Core, state: _ThreadState, job: _Job,
-                    slice_len: float) -> None:
+    def _slice_done(self, args) -> None:
+        core, state, job, slice_len = args
         self.metrics.cpu.charge(job.category, slice_len)
         core.stint_used += slice_len
         job.remaining -= slice_len
@@ -226,8 +226,7 @@ class Cpu:
         if not state.jobs:
             self._load_delta(-1)
         job.done.succeed()
-        decide = self.sim.timeout(0.0)
-        decide.add_callback(lambda _ev: self._decide(core, state))
+        self.sim.call_later(0.0, self._decide, (core, state))
 
     def _preempt(self, core: _Core, state: _ThreadState) -> None:
         state.running_on = None
@@ -239,7 +238,8 @@ class Cpu:
         self._run_queue.append(state)
         self._next_thread(core)
 
-    def _decide(self, core: _Core, state: _ThreadState) -> None:
+    def _decide(self, args) -> None:
+        core, state = args
         if state.runnable:
             # The thread continued (issued more work in the same instant).
             if core.stint_used < self.params.quantum or not self._run_queue:

@@ -22,12 +22,51 @@ All times are floats in **seconds** of simulated time.  The simulator is
 fully deterministic: ties in time are broken by a monotonically
 increasing sequence number, so two runs with the same seed produce
 byte-identical traces.
+
+Scheduling structure (calendar queue)
+-------------------------------------
+
+The scheduler is a *calendar queue* rather than a single binary heap.
+Entries are tuples whose first two fields are always ``(time, seq)``;
+``seq`` is globally unique, so tuple comparison never reaches the third
+field and the total order is exactly the guarded ``(time, seq)`` order.
+Two entry shapes coexist:
+
+- ``(t, seq, event)`` — a triggered :class:`Event` to dispatch, and
+- ``(t, seq, fn, arg)`` — a bare callback from :meth:`Simulator.call_later`
+  (no Event object allocated at all; used for fire-and-forget work such
+  as network message delivery and CPU slice completions).
+
+Entries live in one of three places, by virtual bucket
+``vb = int(t * inv_width)``:
+
+- ``_active`` — an ascending-sorted list holding every entry with
+  ``vb <= _vb`` (the consumed horizon).  It is consumed by advancing an
+  index (``_apos``), not by popping, and new same-instant entries are
+  ``bisect.insort``-ed — because fresh entries carry the largest ``seq``,
+  they land at (or near) the tail, so the insert is O(1) memmove in the
+  common case.
+- ``_buckets`` — a power-of-two ring of unsorted lists covering one
+  *revolution* of virtual buckets ``(_vb, _vb + nbuckets)``.  Pushing is
+  a plain ``list.append``; a bucket is sorted only when it becomes the
+  new ``_active`` (Timsort on an almost-sorted run, since appends arrive
+  in ``seq`` order).
+- ``_far`` — a binary-heap fallback for entries beyond the current
+  revolution (think-time pauses, idle timeouts).  It is drained into the
+  ring as the horizon advances.
+
+When occupancy drifts (more than ~2 entries per bucket, or the ring is
+nearly empty) the next refill *resizes*: bucket width is re-derived from
+the observed span of pending entries and everything is re-placed.
+Cancelled :class:`Timeout` entries (``callbacks is None``) are skipped at
+dispatch without counting and dropped wholesale during a resize.
 """
 
 from __future__ import annotations
 
 import math
-from heapq import heappop, heappush
+from bisect import insort
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -36,12 +75,26 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "CountdownLatch",
     "Simulator",
     "SimulationError",
 ]
 
 #: Sentinel yielded value type for process generators.
 ProcessGenerator = Generator["Event", Any, Any]
+
+# Calendar-queue tuning.  The defaults favour the exhibits' event mix
+# (microsecond-scale service events + second-scale think timers): a
+# 100 us bucket keeps one request's causal chain inside a bucket or two
+# while think timers overflow to the far heap until their bucket nears.
+_DEFAULT_WIDTH = 1e-4
+_MIN_BUCKETS = 256
+_MAX_BUCKETS = 1 << 16
+_ITEMS_PER_BUCKET = 4
+#: Resize trigger for the active list (covers both a consumed prefix
+#: that was never compacted and a same-bucket burst); doubled when a
+#: resize cannot split the entries (zero time span).
+_ACTIVE_LIMIT = 8192
 
 
 class SimulationError(RuntimeError):
@@ -52,8 +105,8 @@ class Event:
     """A one-shot waitable occurrence in simulated time.
 
     Events begin *pending*.  Calling :meth:`succeed` or :meth:`fail`
-    *triggers* the event: the event is placed on the simulator's heap at
-    the current simulation time and, when popped, runs its callbacks.
+    *triggers* the event: the event is scheduled at the current
+    simulation time and, when dispatched, runs its callbacks.
 
     Callbacks receive the event itself; they read ``event.value`` (or
     observe ``event.exception``).
@@ -97,7 +150,12 @@ class Event:
         self._value = value
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim.now, seq, self))
+        # t == sim.now: every pending bucket/far entry is strictly later,
+        # so the entry belongs in the active list unconditionally.
+        active = sim._active
+        insort(active, (sim.now, seq, self))
+        if len(active) > sim._active_limit:
+            sim._pending_resize = True
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -113,8 +171,23 @@ class Event:
         self._exception = exception
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim.now, seq, self))
+        active = sim._active
+        insort(active, (sim.now, seq, self))
+        if len(active) > sim._active_limit:
+            sim._pending_resize = True
         return self
+
+    def _succeed_from(self, other: "Event") -> None:
+        """Callback form of :meth:`succeed`: adopt *other*'s value if
+        this event is still pending.
+
+        Lets a :class:`Timeout` race a pending event without an
+        :class:`AnyOf` allocation::
+
+            timer.add_callback(waiter._succeed_from)
+        """
+        if not self.triggered:
+            self.succeed(other._value)
 
     # -- internal ------------------------------------------------------
 
@@ -143,7 +216,7 @@ class Timeout(Event):
 
     Timeouts are the kernel's hottest allocation (every simulated CPU
     slice, network hop, and think-time pause is one), so ``__init__``
-    assigns the Event slots and pushes onto the heap directly instead
+    assigns the Event slots and pushes the queue entry directly instead
     of going through ``Event.__init__`` + ``succeed``.
     """
 
@@ -159,7 +232,23 @@ class Timeout(Event):
         self.triggered = True
         self.processed = False
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim.now + delay, seq, self))
+        t = sim.now + delay
+        vb = int(t * sim._inv_w)
+        if sim._vb < vb < sim._vbh:
+            sim._buckets[vb & sim._mask].append((t, seq, self))
+            sim._nbucket += 1
+        else:
+            sim._push_slow(t, vb, (t, seq, self))
+
+    def cancel(self) -> None:
+        """Lazily cancel the timeout.
+
+        The queue entry stays where it is; the dispatch loop recognises
+        the cleared callback list, skips the entry without counting it,
+        and never advances the clock for it.  Resizes drop cancelled
+        entries wholesale.  A no-op if the timeout already fired.
+        """
+        self.callbacks = None
 
 
 class Process(Event):
@@ -184,14 +273,14 @@ class Process(Event):
         self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off at the current time: an already-triggered bootstrap
-        # event whose only callback resumes the generator (pushed onto
-        # the heap directly — equivalent to add_callback + succeed).
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.triggered = True
+        # Kick off at the current time with a bare-callback entry: the
+        # shared pre-made null event stands in for a bootstrap Event, so
+        # starting a process allocates nothing beyond the queue tuple.
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim.now, seq, bootstrap))
+        active = sim._active
+        insort(active, (sim.now, seq, self._resume, sim._null_event))
+        if len(active) > sim._active_limit:
+            sim._pending_resize = True
 
     @property
     def is_alive(self) -> bool:
@@ -266,6 +355,49 @@ class AnyOf(Event):
             self.succeed((event, event._value))
 
 
+class CountdownLatch(Event):
+    """A fixed-width fanout completion latch.
+
+    One allocation up front, one integer decrement per completion: a
+    fanout-20 join is this latch plus twenty :meth:`count_down` calls
+    instead of an :class:`AllOf` with twenty child Event registrations.
+    The latch succeeds (value ``None``) when the count reaches zero; a
+    count of zero succeeds immediately.
+
+    :meth:`count_down` accepts and ignores an optional argument so it
+    can be registered directly as an event callback::
+
+        latch = sim.latch(len(children))
+        for child in children:
+            child.add_callback(latch.count_down)
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", count: int) -> None:
+        super().__init__(sim)
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"negative latch count: {count}")
+        self._remaining = count
+        if count == 0:
+            self.succeed(None)
+
+    @property
+    def remaining(self) -> int:
+        """Completions still outstanding."""
+        return self._remaining
+
+    def count_down(self, _event: Optional[Event] = None) -> None:
+        """Record one completion; trigger the latch on the last one."""
+        remaining = self._remaining - 1
+        if remaining < 0:
+            raise SimulationError("count_down() on an exhausted latch")
+        self._remaining = remaining
+        if remaining == 0 and not self.triggered:
+            self.succeed(None)
+
+
 class AllOf(Event):
     """Triggers when every one of *events* has triggered.
 
@@ -299,24 +431,50 @@ class AllOf(Event):
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of triggered events.
+    """The event loop: a calendar queue of triggered events.
 
     Usage::
 
         sim = Simulator()
         sim.process(some_generator_function(sim))
         sim.run(until=10.0)
+
+    *bucket_width* overrides the initial calendar bucket width in
+    seconds (the width self-tunes afterwards); it exists for tests that
+    force the far-heap or all-active paths.
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_event_count")
+    __slots__ = (
+        "_seq", "now", "_event_count",
+        "_width", "_inv_w", "_nbuckets", "_mask", "_buckets",
+        "_vb", "_vbh", "_active", "_apos", "_far", "_nbucket", "_nfar",
+        "_pending_resize", "_active_limit", "_null_event",
+    )
 
-    def __init__(self) -> None:
-        self._heap: List[Any] = []
+    def __init__(self, bucket_width: Optional[float] = None) -> None:
         self._seq = 0
         #: Current simulation time in seconds.
         self.now = 0.0
         #: Total number of events processed (for diagnostics).
         self._event_count = 0
+        width = _DEFAULT_WIDTH if bucket_width is None else float(bucket_width)
+        if width <= 0.0 or not math.isfinite(width):
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self._width = width
+        self._inv_w = 1.0 / width
+        self._nbuckets = _MIN_BUCKETS
+        self._mask = _MIN_BUCKETS - 1
+        self._buckets: List[List[Any]] = [[] for _ in range(_MIN_BUCKETS)]
+        self._vb = 0
+        self._vbh = _MIN_BUCKETS
+        self._active: List[Any] = []
+        self._apos = 0
+        self._far: List[Any] = []
+        self._nbucket = 0
+        self._nfar = 0
+        self._pending_resize = False
+        self._active_limit = _ACTIVE_LIMIT
+        self._null_event = Event(self)
 
     # -- factory helpers ------------------------------------------------
 
@@ -340,30 +498,232 @@ class Simulator:
         """Event triggering once all *events* have triggered."""
         return AllOf(self, events)
 
+    def latch(self, count: int) -> CountdownLatch:
+        """A :class:`CountdownLatch` for *count* completions."""
+        return CountdownLatch(self, count)
+
     # -- scheduling ------------------------------------------------------
 
+    def call_later(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after *delay* seconds — no Event allocated.
+
+        This is the fire-and-forget fast path for internal machinery
+        (network delivery, CPU slice completion): one queue tuple instead
+        of a Timeout + callback list + closure.  The callback cannot be
+        cancelled or waited on; use :meth:`timeout` for that.
+        """
+        if delay < 0:
+            raise ValueError(f"negative call_later delay: {delay}")
+        self._seq = seq = self._seq + 1
+        t = self.now + delay
+        vb = int(t * self._inv_w)
+        if self._vb < vb < self._vbh:
+            self._buckets[vb & self._mask].append((t, seq, fn, arg))
+            self._nbucket += 1
+        else:
+            self._push_slow(t, vb, (t, seq, fn, arg))
+
     def _schedule(self, delay: float, event: Event) -> None:
-        self._seq += 1
-        heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        t = self.now + delay
+        vb = int(t * self._inv_w)
+        if self._vb < vb < self._vbh:
+            self._buckets[vb & self._mask].append((t, seq, event))
+            self._nbucket += 1
+        else:
+            self._push_slow(t, vb, (t, seq, event))
+
+    def _push_slow(self, t: float, vb: int, entry: Any) -> None:
+        """Entry falls outside the bucket ring: far heap or active list."""
+        if vb > self._vb:
+            heappush(self._far, entry)
+            self._nfar += 1
+        else:
+            active = self._active
+            insort(active, entry)
+            if len(active) > self._active_limit:
+                self._pending_resize = True
+
+    # -- calendar maintenance -------------------------------------------
+
+    def _drain_far(self) -> None:
+        """Move far-heap entries that now fall inside the ring."""
+        far = self._far
+        inv_w = self._inv_w
+        vbh = self._vbh
+        buckets = self._buckets
+        mask = self._mask
+        moved = 0
+        while far:
+            vb = int(far[0][0] * inv_w)
+            if vb >= vbh:
+                break
+            buckets[vb & mask].append(heappop(far))
+            moved += 1
+        self._nfar -= moved
+        self._nbucket += moved
+
+    def _refill(self) -> bool:
+        """Consume the next non-empty bucket into ``_active``.
+
+        Precondition: the active list is exhausted (``_apos`` synced and
+        at the end).  Returns False when no entries remain anywhere.
+        """
+        total = self._nbucket + self._nfar
+        if total == 0:
+            return False
+        nbuckets = self._nbuckets
+        if total > (nbuckets << 1) or (
+                nbuckets > _MIN_BUCKETS and total < (nbuckets >> 3)):
+            self._resize()
+            if self._apos < len(self._active):
+                return True
+            if self._nbucket == 0 and not self._far:
+                # Everything pending turned out to be cancelled.
+                return False
+        if self._nbucket == 0:
+            # All buckets empty: hop the window straight to the far head
+            # instead of scanning revolution by revolution.
+            jump = int(self._far[0][0] * self._inv_w) - 1
+            if jump > self._vb:
+                self._vb = jump
+                self._vbh = jump + self._nbuckets
+            self._drain_far()
+        buckets = self._buckets
+        mask = self._mask
+        vb = self._vb
+        while True:
+            vb += 1
+            bucket = buckets[vb & mask]
+            if bucket:
+                break
+        buckets[vb & mask] = []
+        self._vb = vb
+        self._vbh = vb + self._nbuckets
+        self._nbucket -= len(bucket)
+        if len(bucket) > 1:
+            # Appends arrive in seq order, so runs are nearly sorted.
+            bucket.sort()
+        self._active = bucket
+        self._apos = 0
+        if self._far:
+            self._drain_far()
+        return True
+
+    def _resize(self) -> None:
+        """Re-derive bucket width from pending entries and re-place them.
+
+        Also acts as compaction: the consumed active prefix and any
+        cancelled entries are dropped.
+        """
+        items = self._active[self._apos:]
+        for bucket in self._buckets:
+            if bucket:
+                items.extend(bucket)
+        items.extend(self._far)
+        items = [it for it in items
+                 if len(it) != 3 or it[2].callbacks is not None]
+        n = len(items)
+        width = self._width
+        if n >= 2:
+            tmin = tmax = items[0][0]
+            for it in items:
+                t = it[0]
+                if t < tmin:
+                    tmin = t
+                elif t > tmax:
+                    tmax = t
+            span = tmax - tmin
+            if span > 0.0:
+                candidate = span * _ITEMS_PER_BUCKET / n
+                if candidate > 0.0 and math.isfinite(candidate):
+                    width = candidate
+        nbuckets = 1 << max(_MIN_BUCKETS.bit_length() - 1,
+                            (n // _ITEMS_PER_BUCKET).bit_length())
+        if nbuckets > _MAX_BUCKETS:
+            nbuckets = _MAX_BUCKETS
+        self._width = width
+        self._inv_w = inv_w = 1.0 / width
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._vb = vb0 = int(self.now * inv_w)
+        self._vbh = vbh = vb0 + nbuckets
+        buckets: List[List[Any]] = [[] for _ in range(nbuckets)]
+        active: List[Any] = []
+        far: List[Any] = []
+        for it in items:
+            vb = int(it[0] * inv_w)
+            if vb <= vb0:
+                active.append(it)
+            elif vb < vbh:
+                buckets[vb & mask].append(it)
+            else:
+                far.append(it)
+        active.sort()
+        heapify(far)
+        self._buckets = buckets
+        self._active = active
+        self._apos = 0
+        self._far = far
+        self._nfar = len(far)
+        self._nbucket = n - len(active) - len(far)
+        self._pending_resize = False
+        # If the entries would not split (zero span), raise the trigger
+        # so the resize is not immediately re-requested.
+        self._active_limit = max(_ACTIVE_LIMIT, 2 * len(active))
 
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event; return False if none remain."""
-        if not self._heap:
-            return False
-        when, _seq, event = heappop(self._heap)
-        self.now = when
-        self._event_count += 1
-        event._run_callbacks()
-        return True
+        while True:
+            active = self._active
+            apos = self._apos
+            if apos >= len(active):
+                if not self._refill():
+                    return False
+                continue
+            item = active[apos]
+            self._apos = apos + 1
+            if len(item) == 3:
+                event = item[2]
+                callbacks = event.callbacks
+                if callbacks is None:
+                    continue  # cancelled: skip silently, no count
+                event.callbacks = None
+                event.processed = True
+                self.now = item[0]
+                self._event_count += 1
+                for callback in callbacks:
+                    callback(event)
+                return True
+            self.now = item[0]
+            self._event_count += 1
+            item[2](item[3])
+            return True
 
     def peek(self) -> Optional[float]:
-        """Time of the next scheduled event, or None when idle."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next scheduled event, or None when idle.
+
+        Cancelled entries at the head are purged as a side effect.
+        """
+        while True:
+            active = self._active
+            n = len(active)
+            apos = self._apos
+            while apos < n:
+                item = active[apos]
+                if len(item) != 3 or item[2].callbacks is not None:
+                    self._apos = apos
+                    return item[0]
+                apos += 1
+            self._apos = apos
+            if not self._refill():
+                return None
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or simulated time reaches *until*.
+        """Run until the queue drains or simulated time reaches *until*.
 
         When *until* is given, ``now`` is advanced to exactly *until*
         even if the last event fired earlier, so measurement windows have
@@ -375,28 +735,56 @@ class Simulator:
             raise ValueError(f"until={until} is in the past (now={self.now})")
         else:
             bound = until
-        # One loop for both modes (bound = +inf drains the heap), with
-        # the heap and heappop held in locals.  Callbacks may push onto
-        # the heap but never rebind it, so the local alias stays valid.
-        # _event_count is settled in `finally` so a callback that raises
-        # (e.g. an unobserved process failure) can't lose the tally.
-        heap = self._heap
-        pop = heappop
+        # One loop for both modes (bound = +inf drains the queue), with
+        # the active list and cursor held in locals.  Callbacks may
+        # insort into the active list but never rebind it (restructures
+        # go through the _pending_resize flag, checked each iteration),
+        # so the local alias stays valid.  _apos/_event_count are settled
+        # in `finally` so a callback that raises (e.g. an unobserved
+        # process failure) can't lose the cursor or the tally.
+        active = self._active
+        apos = self._apos
         count = 0
         try:
-            while heap and heap[0][0] <= bound:
-                when, _seq, event = pop(heap)
-                self.now = when
-                count += 1
-                # Inlined Event._run_callbacks (one method call per
-                # event adds up to whole seconds across an exhibit grid).
-                callbacks = event.callbacks
-                event.callbacks = None
-                event.processed = True
-                if callbacks:
-                    for callback in callbacks:
-                        callback(event)
+            while True:
+                if self._pending_resize:
+                    self._apos = apos
+                    self._resize()
+                    active = self._active
+                    apos = 0
+                if apos >= len(active):
+                    self._apos = apos
+                    if not self._refill():
+                        break
+                    active = self._active
+                    apos = 0
+                    continue
+                item = active[apos]
+                when = item[0]
+                if when > bound:
+                    break
+                apos += 1
+                if len(item) == 3:
+                    event = item[2]
+                    # Inlined Event._run_callbacks (one method call per
+                    # event adds up across an exhibit grid).
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        continue  # cancelled Timeout: skip, no count
+                    event.callbacks = None
+                    event.processed = True
+                    self.now = when
+                    count += 1
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                else:
+                    # (t, seq, fn, arg) bare-callback entry.
+                    self.now = when
+                    count += 1
+                    item[2](item[3])
         finally:
+            self._apos = apos
             self._event_count += count
         if until is not None:
             self.now = until

@@ -14,7 +14,94 @@ import math
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Metrics", "LatencyRecorder", "TimeSeries", "CpuAccounting"]
+__all__ = ["Metrics", "LatencyRecorder", "TimeSeries", "CpuAccounting",
+           "SKETCH_PERCENTILES"]
+
+#: Percentiles the sketch mode tracks one P-squared estimator for — the
+#: harness's reporting set plus the 0/100 endpoints held as min/max.
+SKETCH_PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0, 99.9)
+
+#: Sketch mode answers exactly from a small buffer until this many
+#: windowed samples have arrived (P-squared estimates are noisy early).
+_SKETCH_EXACT_UNTIL = 64
+
+
+class _P2Quantile:
+    """One streaming quantile via the P-squared algorithm
+    (Jain & Chlamtac, CACM 1985): five markers whose heights
+    approximate the q-quantile without storing samples."""
+
+    __slots__ = ("p", "_init", "_q", "_n", "_np", "_dn")
+
+    def __init__(self, p: float) -> None:
+        self.p = p  # quantile in (0, 1)
+        self._init: Optional[List[float]] = []
+
+    def add(self, x: float) -> None:
+        init = self._init
+        if init is not None:
+            init.append(x)
+            if len(init) == 5:
+                init.sort()
+                p = self.p
+                self._q = init
+                self._n = [0.0, 1.0, 2.0, 3.0, 4.0]
+                self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+                self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+                self._init = None
+            return
+        q = self._q
+        n = self._n
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x < q[1]:
+            k = 0
+        elif x < q[2]:
+            k = 1
+        elif x < q[3]:
+            k = 2
+        elif x <= q[4]:
+            k = 3
+        else:
+            q[4] = x
+            k = 3
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        np_ = self._np
+        dn = self._dn
+        for i in range(5):
+            np_[i] += dn[i]
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if ((d >= 1.0 and n[i + 1] - n[i] > 1.0)
+                    or (d <= -1.0 and n[i - 1] - n[i] < -1.0)):
+                d = 1.0 if d > 0.0 else -1.0
+                # Piecewise-parabolic prediction of the marker height;
+                # fall back to linear when it would leave the bracket.
+                qn = q[i] + d / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + d) * (q[i + 1] - q[i])
+                    / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1])
+                    / (n[i] - n[i - 1]))
+                if not q[i - 1] < qn < q[i + 1]:
+                    j = i + (1 if d > 0.0 else -1)
+                    qn = q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+                q[i] = qn
+                n[i] += d
+
+    def value(self) -> float:
+        init = self._init
+        if init is not None:
+            # Fewer than five samples: exact from the seed buffer.
+            if not init:
+                return math.nan
+            values = sorted(init)
+            rank = self.p * (len(values) - 1)
+            low = int(rank)
+            high = min(low + 1, len(values) - 1)
+            return values[low] + (rank - low) * (values[high] - values[low])
+        return self._q[2]
 
 
 class LatencyRecorder:
@@ -23,33 +110,88 @@ class LatencyRecorder:
     Samples recorded before ``start_at`` (the measurement-window start,
     set by the harness after warm-up) are discarded at query time.
 
-    Queries share one sorted copy of the windowed samples, rebuilt only
-    when a sample lands or ``start_at`` moves since the last query, so
-    ``cdf_points`` over six percentiles costs one sort instead of six
-    and ``record`` stays a bare ``list.append``.
+    **Exact mode** (the default) stores every sample.  Queries share one
+    sorted copy of the windowed samples, rebuilt only when a sample
+    lands or ``start_at`` moves since the last query, so ``cdf_points``
+    over six percentiles costs one sort instead of six and ``record``
+    stays a bare ``list.append``.
+
+    **Sketch mode** (``sketch=True``) keeps O(1) state per tracked
+    percentile (:data:`SKETCH_PERCENTILES`, via P-squared estimators)
+    plus count/sum/min/max, so long ``--full`` windows stop holding
+    millions of samples.  Reported percentiles become estimates;
+    untracked percentiles interpolate between the tracked ones (with
+    0 -> min and 100 -> max).  Moving ``start_at`` forward resets the
+    sketch, which is how the harness discards warm-up samples.
     """
 
-    __slots__ = ("_samples", "start_at", "_cache", "_cache_len",
-                 "_cache_start")
+    __slots__ = ("_samples", "_start_at", "_cache", "_cache_len",
+                 "_cache_start", "_sketch", "_estimators", "_count",
+                 "_sum", "_min", "_max", "_seed", "_raw_total")
 
-    def __init__(self) -> None:
+    def __init__(self, sketch: bool = False) -> None:
         self._samples: List[Tuple[float, float]] = []
-        self.start_at = 0.0
+        self._start_at = 0.0
         self._cache: Optional[List[float]] = None
         self._cache_len = -1
         self._cache_start = 0.0
+        self._sketch = sketch
+        self._raw_total = 0
+        if sketch:
+            self._reset_sketch()
+
+    def _reset_sketch(self) -> None:
+        self._estimators = {q: _P2Quantile(q / 100.0)
+                            for q in SKETCH_PERCENTILES}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._seed: List[float] = []
+
+    @property
+    def is_sketch(self) -> bool:
+        return self._sketch
+
+    @property
+    def start_at(self) -> float:
+        return self._start_at
+
+    @start_at.setter
+    def start_at(self, value: float) -> None:
+        if self._sketch and value != self._start_at:
+            # The sketch cannot retroactively un-record warm-up samples;
+            # restarting the estimators has the same effect because
+            # record() drops samples before the new window start.
+            self._reset_sketch()
+        self._start_at = value
 
     def record(self, now: float, value: float) -> None:
         """Record *value* observed at simulated time *now*."""
-        self._samples.append((now, value))
+        self._raw_total += 1
+        if not self._sketch:
+            self._samples.append((now, value))
+            return
+        if now < self._start_at:
+            return
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._seed) < _SKETCH_EXACT_UNTIL:
+            self._seed.append(value)
+        for estimator in self._estimators.values():
+            estimator.add(value)
 
     def _window_sorted(self) -> List[float]:
         """Sorted windowed values; cached until the inputs change."""
         n = len(self._samples)
         if (self._cache is not None and self._cache_len == n
-                and self._cache_start == self.start_at):
+                and self._cache_start == self._start_at):
             return self._cache
-        start = self.start_at
+        start = self._start_at
         values = sorted(v for (t, v) in self._samples if t >= start)
         self._cache = values
         self._cache_len = n
@@ -57,20 +199,17 @@ class LatencyRecorder:
         return values
 
     def __len__(self) -> int:
+        if self._sketch:
+            return self._count
         return len(self._window_sorted())
 
     @property
     def raw_count(self) -> int:
         """All samples ever recorded, including warm-up."""
-        return len(self._samples)
+        return self._raw_total
 
-    def percentile(self, q: float) -> float:
-        """The *q*-th percentile (0..100) using linear interpolation."""
-        values = self._window_sorted()
-        if not values:
-            return math.nan
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile out of range: {q}")
+    @staticmethod
+    def _interpolate(values: List[float], q: float) -> float:
         if len(values) == 1:
             return values[0]
         rank = (q / 100.0) * (len(values) - 1)
@@ -81,14 +220,52 @@ class LatencyRecorder:
         # percentile function monotone under float rounding.
         return values[low] + frac * (values[high] - values[low])
 
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0..100); linear interpolation in exact
+        mode, a P-squared estimate in sketch mode."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._sketch:
+            values = self._window_sorted()
+            if not values:
+                return math.nan
+            return self._interpolate(values, q)
+        if self._count == 0:
+            return math.nan
+        if self._count <= len(self._seed):
+            # Small window: every sample is still in the seed buffer.
+            return self._interpolate(sorted(self._seed), q)
+        estimator = self._estimators.get(q)
+        if estimator is not None:
+            value = estimator.value()
+            return min(max(value, self._min), self._max)
+        # Untracked percentile: interpolate between the tracked marks,
+        # anchored by min (q=0) and max (q=100).
+        marks = [(0.0, self._min)]
+        marks += [(mark, min(max(self._estimators[mark].value(), self._min),
+                             self._max))
+                  for mark in SKETCH_PERCENTILES]
+        marks.append((100.0, self._max))
+        for (lo_q, lo_v), (hi_q, hi_v) in zip(marks, marks[1:]):
+            if lo_q <= q <= hi_q:
+                if hi_q == lo_q:
+                    return lo_v
+                frac = (q - lo_q) / (hi_q - lo_q)
+                return lo_v + frac * (hi_v - lo_v)
+        return self._max  # pragma: no cover - marks span [0, 100]
+
     def mean(self) -> float:
         """Arithmetic mean of windowed samples (NaN when empty)."""
+        if self._sketch:
+            return self._sum / self._count if self._count else math.nan
         values = self._window_sorted()
         if not values:
             return math.nan
         return sum(values) / len(values)
 
     def maximum(self) -> float:
+        if self._sketch:
+            return self._max if self._count else math.nan
         values = self._window_sorted()
         return values[-1] if values else math.nan
 
@@ -190,13 +367,15 @@ class CpuAccounting:
 class Metrics:
     """Shared sink for every measurement a simulation produces."""
 
-    def __init__(self) -> None:
+    def __init__(self, latency_sketch: bool = False) -> None:
         self.counters: Dict[str, float] = defaultdict(float)
         self._warmup_counters: Dict[str, float] = {}
         self.latencies: Dict[str, LatencyRecorder] = {}
         self.series: Dict[str, TimeSeries] = {}
         self.cpu = CpuAccounting()
         self.window_start = 0.0
+        #: When True, new recorders use the P-squared sketch mode.
+        self.latency_sketch = latency_sketch
 
     # -- counters -------------------------------------------------------
 
@@ -215,7 +394,7 @@ class Metrics:
     def latency(self, name: str) -> LatencyRecorder:
         recorder = self.latencies.get(name)
         if recorder is None:
-            recorder = LatencyRecorder()
+            recorder = LatencyRecorder(sketch=self.latency_sketch)
             recorder.start_at = self.window_start
             self.latencies[name] = recorder
         return recorder

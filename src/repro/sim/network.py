@@ -151,5 +151,5 @@ class Connection:
         self.metrics.add("net.messages")
         self.metrics.add("net.bytes", size)
         delay = self.latency + self.params.transfer_time(size)
-        timer = self.sim.timeout(delay)
-        timer.add_callback(lambda _ev: target.deliver(message))
+        # Bare-callback entry: no Timeout/closure allocated per message.
+        self.sim.call_later(delay, target.deliver, message)

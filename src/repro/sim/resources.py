@@ -92,25 +92,34 @@ class Queue:
         return items
 
 
+#: Sentinel a racing idle timer injects into an abandoned getter.
+_TIMED_OUT = object()
+
+
 def queue_get_with_timeout(sim: Simulator, queue: Queue, timeout: float):
     """Coroutine helper: get from *queue* or raise :class:`QueueTimeout`.
 
     Use with ``yield from``.  A timed-out get leaves the queue in a
     consistent state: a later ``put`` skips the abandoned getter.
+
+    The race is run without an :class:`AnyOf`: the idle timer succeeds
+    the pending getter directly with a sentinel, and when the item wins
+    instead the timer is lazily cancelled (idle timers are far-future
+    entries; cancelling beats letting them fire).
     """
     get_event = queue.get()
     if get_event.triggered:
         value = yield get_event
         return value
-    timer = sim.timeout(timeout)
-    winner, value = yield sim.any_of([get_event, timer])
-    if winner is timer:
-        # Mark the abandoned getter as dead so put() skips it.  The item,
-        # if one races in at the same instant, stays in the queue because
-        # put() checks `triggered` before handing over.
-        if not get_event.triggered:
-            get_event.triggered = True
+    timer = sim.timeout(timeout, value=_TIMED_OUT)
+    timer.add_callback(get_event._succeed_from)
+    value = yield get_event
+    if value is _TIMED_OUT:
+        # The getter is now triggered, so a later put() skips it; an item
+        # racing in at this same instant stays queued because put()
+        # checks `triggered` before handing over.
         raise QueueTimeout()
+    timer.cancel()
     return value
 
 

@@ -130,14 +130,16 @@ class Selector:
                     thread, self.params.select_base_cost, "select")
                 # (If data raced in during the probe, the waiter has
                 # already been triggered and the wait below is instant.)
+                # Race the poll timer against readiness without an AnyOf
+                # allocation: the timer succeeds the pending waiter
+                # directly, and loses by lazy cancellation.
                 timer = self.sim.timeout(timeout)
-                winner, _value = yield self.sim.any_of([waiter, timer])
-                if winner is timer and not self._ready:
+                timer.add_callback(waiter._succeed_from)
+                yield waiter
+                if not self._ready:
                     # Spurious wakeup: kernel crossing with nothing to show.
                     if self._waiter is waiter:
                         self._waiter = None
-                    if not waiter.triggered:
-                        waiter.triggered = True  # abandon
                     self.metrics.add(f"selector.{self.name}.selects")
                     self.metrics.add(f"selector.{self.name}.spurious")
                     self.metrics.add("selector.total_selects")
@@ -145,6 +147,7 @@ class Selector:
                     yield self.cpu.execute(
                         thread, self.params.select_base_cost, "select")
                     return []
+                timer.cancel()
         if timeout is not None and (len(self._ready)
                                     > self.params.netty_select_max_batch):
             # Poll-loop reactors consume a bounded batch per cycle and

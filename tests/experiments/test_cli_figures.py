@@ -7,7 +7,7 @@ argument handling, and one fast exhibit end-to-end.
 import pytest
 
 from repro.experiments.cli import build_parser, main
-from repro.experiments.figures import EXHIBITS, run_exhibit
+from repro.experiments.figures import EXHIBITS, run_exhibit, run_exhibits
 
 
 class TestRegistry:
@@ -70,3 +70,17 @@ class TestExhibitRun:
         parallel = run_exhibit("tab2", quick=True, seed=42, jobs=2)
         assert parallel.text == serial.text
         assert parallel.data == serial.data
+
+    def test_interleaved_exhibits_match_standalone(self):
+        """run_exhibits over one shared pool returns the same text and
+        data as each exhibit run on its own."""
+        batch = run_exhibits(["tab2", "tab3"], quick=True, seed=42, jobs=2)
+        assert list(batch) == ["tab2", "tab3"]
+        for name in ("tab2", "tab3"):
+            alone = run_exhibit(name, quick=True, seed=42, jobs=1)
+            assert batch[name].text == alone.text
+            assert batch[name].data == alone.data
+
+    def test_interleaved_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            run_exhibits(["tab2", "nope"], quick=True, jobs=2)

@@ -115,3 +115,27 @@ class TestRunExperiment:
         large = run_experiment(ExperimentConfig(
             concurrency=5, warmup=0.1, duration=0.4, large_shards=True))
         assert large.mean_rt > small.mean_rt
+
+    def test_selector_stats_gated_by_config(self):
+        """keep_selector_stats=False drops the raw dicts but keeps the
+        aggregates computed from them."""
+        kw = dict(server="netty", concurrency=5, warmup=0.1, duration=0.3)
+        kept = run_experiment(ExperimentConfig(**kw))
+        gated = run_experiment(ExperimentConfig(keep_selector_stats=False,
+                                                **kw))
+        assert gated.selector_stats == []
+        assert gated.selects_per_sec == kept.selects_per_sec
+        assert gated.selects_per_sec > 0
+        assert gated.throughput == kept.throughput
+
+    def test_latency_sketch_close_to_exact(self):
+        """Sketch-mode percentiles track the exact ones within a few
+        percent on a real run; throughput is untouched."""
+        kw = dict(concurrency=20, warmup=0.2, duration=1.0)
+        exact = run_experiment(ExperimentConfig(**kw))
+        sketch = run_experiment(ExperimentConfig(latency_sketch=True, **kw))
+        assert sketch.throughput == exact.throughput
+        assert sketch.completed == exact.completed
+        for q in (50.0, 90.0, 99.0):
+            assert sketch.percentiles[q] == pytest.approx(
+                exact.percentiles[q], rel=0.1)
