@@ -26,7 +26,9 @@ PRs can diff events/sec against every earlier recording::
 Use ``--no-exhibit`` for a fast kernel-only pass, ``--dry-run`` to
 print without touching the trajectory file, ``--quick`` for the CI
 perf-smoke sizes, and ``--check`` to fail (exit 1) when any events/sec
-metric regresses more than 30% against the latest recorded entry.
+metric regresses more than 20% against the latest recorded entry
+(``--check`` runs best-of-5 instead of best-of-3, trading a few extra
+seconds for the variance headroom the tighter band needs).
 """
 
 from __future__ import annotations
@@ -154,12 +156,14 @@ def bench_quick_exhibit() -> float:
     return time.perf_counter() - started
 
 
-def run_all(with_exhibit: bool = True, quick: bool = False) -> dict:
-    # Every events/sec metric is best-of-3: one short run routinely
-    # loses 20%+ to scheduler noise (CI runners especially), and the
-    # max is the least-biased estimator of the machine's actual rate.
+def run_all(with_exhibit: bool = True, quick: bool = False,
+            repeats: int = 3) -> dict:
+    # Every events/sec metric is best-of-N (default 3; the CI --check
+    # pass uses 5): one short run routinely loses 20%+ to scheduler
+    # noise (CI runners especially), and the max is the least-biased
+    # estimator of the machine's actual rate.
     def best(fn, *args, **kw):
-        return max(fn(*args, **kw) for _ in range(3))
+        return max(fn(*args, **kw) for _ in range(repeats))
 
     if quick:
         # Sized so per-event rates land within a few percent of the
@@ -190,7 +194,7 @@ def run_all(with_exhibit: bool = True, quick: bool = False) -> dict:
 
 
 def check_regression(metrics: dict, trajectory: dict,
-                     threshold: float = 0.70) -> int:
+                     threshold: float = 0.80) -> int:
     """Compare events/sec metrics against the latest recorded entry.
 
     Returns the number of metrics that regressed below ``threshold``
@@ -236,14 +240,16 @@ def main(argv=None) -> int:
                         help="CI perf-smoke sizes (implies --no-exhibit "
                              "and --dry-run)")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 if any events/sec metric is <70%% of "
-                             "the latest BENCH_core.json entry")
+                        help="exit 1 if any events/sec metric is <80%% of "
+                             "the latest BENCH_core.json entry "
+                             "(runs best-of-5 instead of best-of-3)")
     args = parser.parse_args(argv)
     if args.quick:
         args.no_exhibit = True
         args.dry_run = True
 
-    metrics = run_all(with_exhibit=not args.no_exhibit, quick=args.quick)
+    metrics = run_all(with_exhibit=not args.no_exhibit, quick=args.quick,
+                      repeats=5 if args.check else 3)
     entry = {
         "label": args.label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
@@ -268,7 +274,7 @@ def main(argv=None) -> int:
     if args.check:
         failures = check_regression(metrics, trajectory)
         if failures:
-            print(f"check FAILED: {failures} metric(s) regressed >30%")
+            print(f"check FAILED: {failures} metric(s) regressed >20%")
             return 1
     if not args.dry_run:
         trajectory["entries"].append(entry)

@@ -51,7 +51,7 @@ class FrontendHandler(EventHandler):
         yield from server.parse_request(reactor.thread, message)
         if self.business_logic is not None:
             yield from self.business_logic(reactor, message)
-        state = RequestState(message, channel.context, server.sim.now)
+        state = server.new_request_state(message, channel.context)
         state_key = id(state)
         reactor.inflight[state_key] = state
         for query in server.build_queries(message, context=state):
@@ -59,6 +59,7 @@ class FrontendHandler(EventHandler):
             conn = reactor.downstream[query.shard_id]
             yield from conn.send(reactor.thread, query, query.wire_size,
                                  to_side="b")
+            server.arm_subquery(state, query, conn)
 
 
 class BackendHandler(EventHandler):
@@ -70,9 +71,13 @@ class BackendHandler(EventHandler):
         if not isinstance(message, QueryResponse):
             raise TypeError(f"unexpected downstream message: {message!r}")
         server = reactor.server
+        state: RequestState = message.context
+        if not server.response_is_fresh(state, message):
+            # Hedge loser or post-retry straggler: drop without paying
+            # the response-processing CPU.
+            return
         yield from server.process_response_cpu(
             reactor.thread, message.payload_size)
-        state: RequestState = message.context
         if state.absorb(message.payload_size, server.sim.now):
             reactor.inflight.pop(id(state), None)
             yield from server.finish_request(reactor.thread, state)

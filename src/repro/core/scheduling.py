@@ -75,17 +75,43 @@ class FanoutAwareScheduler(BatchScheduler):
             return message.context
         return None
 
+    def _count_in_batch(self, batch: List[BatchEvent]) -> Dict[int, int]:
+        """Per request, how many of its *live* responses sit in this batch.
+
+        Under a resilience policy a request's sub-query may appear more
+        than once in a batch (original + retry/hedge copies) or after it
+        was already won.  Counting those raw events would declare a
+        request "completable" on the strength of duplicates it is going
+        to drop, so: responses whose sub-query already completed
+        (``tracker.done``) are skipped, and live copies of the same
+        ``(request, seq)`` are counted once.  Without a policy attached
+        (``state.session`` unset/empty) this degenerates to the plain
+        per-request event count.
+        """
+        in_batch: Dict[int, int] = {}
+        seen: set = set()
+        for _channel, message in batch:
+            state = self._request_state(message)
+            if state is None:
+                continue
+            session = getattr(state, "session", None)
+            if session:
+                tracker = session.get(message.seq)
+                if tracker is not None and tracker.done:
+                    continue
+                key = (id(state), message.seq)
+                if key in seen:
+                    continue
+                seen.add(key)
+            in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        return in_batch
+
     def order(self, batch: List[BatchEvent]) -> List[BatchEvent]:
         if len(batch) <= 1:
             return list(batch)
         self.batches += 1
 
-        # Count, per request, how many of its responses sit in this batch.
-        in_batch: Dict[int, int] = {}
-        for _channel, message in batch:
-            state = self._request_state(message)
-            if state is not None:
-                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        in_batch = self._count_in_batch(batch)
 
         completable: List[Tuple[int, int, BatchEvent]] = []
         requests: List[BatchEvent] = []
@@ -102,7 +128,7 @@ class FanoutAwareScheduler(BatchScheduler):
                     requests.append(event)
                 continue
             remaining = getattr(state, "remaining", None)
-            if remaining is not None and in_batch[id(state)] >= remaining:
+            if remaining is not None and in_batch.get(id(state), 0) >= remaining:
                 # Every outstanding response is here: completable.
                 completable.append((remaining, position, event))
             else:
@@ -140,11 +166,7 @@ class StableFanoutScheduler(FanoutAwareScheduler):
         if len(batch) <= 1:
             return list(batch)
         self.batches += 1
-        in_batch: Dict[int, int] = {}
-        for _channel, message in batch:
-            state = self._request_state(message)
-            if state is not None:
-                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        in_batch = self._count_in_batch(batch)
         completable: List[BatchEvent] = []
         requests: List[BatchEvent] = []
         incomplete: List[BatchEvent] = []
@@ -153,7 +175,7 @@ class StableFanoutScheduler(FanoutAwareScheduler):
             state = self._request_state(message)
             if state is None:
                 requests.append(event)
-            elif in_batch[id(state)] >= getattr(state, "remaining", 0):
+            elif in_batch.get(id(state), 0) >= getattr(state, "remaining", 0):
                 completable.append(event)
             else:
                 incomplete.append(event)
@@ -187,18 +209,23 @@ class DeferIncompleteScheduler(FanoutAwareScheduler):
             self._last_deferred = []
             return list(batch)
         self.batches += 1
-        in_batch: Dict[int, int] = {}
-        for _channel, message in batch:
-            state = self._request_state(message)
-            if state is not None:
-                in_batch[id(state)] = in_batch.get(id(state), 0) + 1
+        in_batch = self._count_in_batch(batch)
         now: List[BatchEvent] = []
         defer: List[BatchEvent] = []
         for event in batch:
             _channel, message = event
             state = self._request_state(message)
+            if state is not None:
+                session = getattr(state, "session", None)
+                if session:
+                    tracker = session.get(message.seq)
+                    if tracker is not None and tracker.done:
+                        # Stale duplicate: deferring it would re-queue it
+                        # forever; let the handler drop it cheaply now.
+                        now.append(event)
+                        continue
             if (state is not None
-                    and in_batch[id(state)] < getattr(state, "remaining", 0)):
+                    and in_batch.get(id(state), 0) < getattr(state, "remaining", 0)):
                 defer.append(event)
             else:
                 now.append(event)

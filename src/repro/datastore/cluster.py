@@ -9,7 +9,7 @@ Amazon-DynamoDB-style cluster).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
@@ -30,26 +30,53 @@ class DatastoreCluster:
                  rng_streams: RngStreams, n_shards: int = 20,
                  large_shards: bool = False, remote: bool = False,
                  schema: Optional[RecordSchema] = None,
-                 name: str = "datastore") -> None:
+                 name: str = "datastore", replicas_per_shard: int = 1,
+                 faults: Optional[Any] = None) -> None:
         if n_shards < 1:
             raise ValueError("cluster needs at least one shard")
+        if replicas_per_shard < 1:
+            raise ValueError("need at least one replica per shard")
         self.sim = sim
         self.metrics = metrics
         self.params = params
         self.name = name
         self.remote = remote
+        self.replicas_per_shard = replicas_per_shard
+        #: Optional :class:`~repro.faults.FaultSchedule` threaded into
+        #: every shard server and app<->shard connection.
+        self.faults = faults
         self.partitioner = HashPartitioner(n_shards)
         size_factor = params.large_shard_factor if large_shards else 1.0
         spread_lo, spread_hi = params.shard_speed_spread
         speed_rng = rng_streams.stream(f"{name}.shard_speeds")
+        # Replica speed factors come from a separate stream so the
+        # primaries' speeds (and every downstream draw) stay identical
+        # to a replicas_per_shard=1 run.
+        replica_speed_rng = (rng_streams.stream(f"{name}.replica_speeds")
+                             if replicas_per_shard > 1 else None)
+        #: ``replica_sets[shard][r]`` — every replica server; replica 0
+        #: is the primary, also exposed as ``shards[shard]``.
+        self.replica_sets: List[List[ShardServer]] = []
         self.shards: List[ShardServer] = []
         for shard_id in range(n_shards):
             speed = speed_rng.uniform(spread_lo, spread_hi)
-            shard_rng = rng_streams.stream(f"{name}.shard.{shard_id}.service")
-            self.shards.append(ShardServer(
-                sim, metrics, params, shard_id, shard_rng,
-                speed_factor=speed, size_factor=size_factor,
-                schema=schema, name=f"{name}-{shard_id}"))
+            replicas: List[ShardServer] = []
+            for r in range(replicas_per_shard):
+                if r == 0:
+                    rng_name = f"{name}.shard.{shard_id}.service"
+                    rspeed = speed
+                    rname = f"{name}-{shard_id}"
+                else:
+                    rng_name = f"{name}.shard.{shard_id}.replica{r}.service"
+                    rspeed = replica_speed_rng.uniform(spread_lo, spread_hi)
+                    rname = f"{name}-{shard_id}-r{r}"
+                replicas.append(ShardServer(
+                    sim, metrics, params, shard_id,
+                    rng_streams.stream(rng_name),
+                    speed_factor=rspeed, size_factor=size_factor,
+                    schema=schema, name=rname, replica=r, faults=faults))
+            self.replica_sets.append(replicas)
+            self.shards.append(replicas[0])
 
     @property
     def n_shards(self) -> int:
@@ -62,9 +89,14 @@ class DatastoreCluster:
             latency += self.params.remote_extra_latency
         return latency
 
-    def connect_shard(self, shard_id: int) -> Connection:
-        """Open a connection to *shard_id*; caller attaches side ``a``."""
-        return self.shards[shard_id].accept(latency=self.connection_latency())
+    def connect_shard(self, shard_id: int, replica: int = 0) -> Connection:
+        """Open a connection to *shard_id*; caller attaches side ``a``.
+
+        ``replica`` picks a server in the shard's replica set (modulo
+        the set size, so failover rotation never indexes out of range).
+        """
+        server = self.replica_sets[shard_id][replica % self.replicas_per_shard]
+        return server.accept(latency=self.connection_latency())
 
     def connect_all(self) -> List[Connection]:
         """One connection per shard, in shard order."""
@@ -75,7 +107,10 @@ class DatastoreCluster:
         count = 0
         for key, value in items:
             shard_id = self.partitioner.shard_for(key)
-            self.shards[shard_id].store.put(key, value)
+            # Full replication within the shard's replica set, so a
+            # failover target can serve the same keys.
+            for server in self.replica_sets[shard_id]:
+                server.store.put(key, value)
             count += 1
         return count
 

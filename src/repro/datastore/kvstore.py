@@ -104,7 +104,16 @@ class ServiceTimeModel:
             raise ValueError(f"unknown datastore op {op!r}")
         return base * self.speed_factor * self.size_factor
 
-    def draw(self, op: str, response_bytes: int) -> float:
-        """One stochastic service-time sample."""
+    def draw(self, op: str, response_bytes: int,
+             multiplier: float = 1.0) -> float:
+        """One stochastic service-time sample.
+
+        ``multiplier`` scales the distribution's mean; fault injection
+        uses it for slowdown windows (multiplier > 1 while the shard is
+        degraded).  At the default 1.0 the draw sequence is identical to
+        a fault-free run.
+        """
         mean = self.mean_for(op, response_bytes)
+        if multiplier != 1.0:
+            mean *= multiplier
         return lognormal_from_mean_cv(self.rng, mean, self.params.service_cv)

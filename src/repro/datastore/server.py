@@ -48,11 +48,17 @@ class ShardServer:
                  shard_id: int, rng: random.Random,
                  speed_factor: float = 1.0, size_factor: float = 1.0,
                  schema: Optional[RecordSchema] = None,
-                 name: str = "") -> None:
+                 name: str = "", replica: int = 0,
+                 faults: Optional[Any] = None) -> None:
         self.sim = sim
         self.metrics = metrics
         self.params = params
         self.shard_id = shard_id
+        #: Replica index within the shard's replica set (0 = primary).
+        self.replica = replica
+        #: Optional :class:`~repro.faults.FaultSchedule` consulted per
+        #: query for crash windows and slowdown multipliers.
+        self.faults = faults
         self.name = name or f"shard-{shard_id}"
         self.store = KVStore()
         self.schema = schema
@@ -70,7 +76,8 @@ class ShardServer:
 
         The shard listens on side ``b``.
         """
-        conn = Connection(self.sim, self.metrics, self.params, latency=latency)
+        conn = Connection(self.sim, self.metrics, self.params, latency=latency,
+                          faults=self.faults)
         conn.attach("b", _TaggingEndpoint(self._inbox, conn))
         return conn
 
@@ -101,7 +108,21 @@ class ShardServer:
             conn, query = yield self._inbox.get()
             if not isinstance(query, Query):
                 raise TypeError(f"shard received non-query {query!r}")
-            service_time = self.service_model.draw(query.op, query.response_size)
+            faults = self.faults
+            if faults is not None and faults.is_down(
+                    self.shard_id, self.replica, self.sim.now):
+                # Crashed: the query vanishes, like a dead TCP peer.
+                # Recovery is the driver's problem (deadline + retry).
+                self.metrics.add("faults.crash_dropped_queries")
+                continue
+            multiplier = 1.0
+            if faults is not None:
+                multiplier = faults.service_multiplier(
+                    self.shard_id, self.replica, self.sim.now)
+                if multiplier != 1.0:
+                    self.metrics.add("faults.slowed_queries")
+            service_time = self.service_model.draw(
+                query.op, query.response_size, multiplier=multiplier)
             yield self.sim.timeout(service_time)
             self.queries_served += 1
             self.metrics.add("datastore.queries")
@@ -116,5 +137,6 @@ class ShardServer:
                 context=query.context,
                 records=self._lookup_records(query),
                 service_time=service_time,
+                attempt=query.attempt,
             )
             yield from conn.send(None, response, response.wire_size, to_side="a")

@@ -99,11 +99,12 @@ class AioBackendServer(AppServer):
         if not isinstance(message, HttpRequest):
             raise TypeError(f"unexpected upstream message: {message!r}")
         yield from self.parse_request(thread, message)
-        state = RequestState(message, channel.context, self.sim.now)
+        state = self.new_request_state(message, channel.context)
         for query in self.build_queries(message, context=state):
             yield thread.execute(self.params.fanout_send_cost, "app")
             conn = self._downstream[query.shard_id]
             yield from conn.send(thread, query, query.wire_size, to_side="b")
+            self.arm_subquery(state, query, conn)
 
     # -- JVM reactor: wrap ready responses into pool tasks ---------------------
 
@@ -115,6 +116,10 @@ class AioBackendServer(AppServer):
             for _channel, message in batch:
                 if not isinstance(message, QueryResponse):
                     raise TypeError(f"unexpected downstream message: {message!r}")
+                if not self.response_is_fresh(message.context, message):
+                    # Stale duplicate (hedge loser / late straggler):
+                    # drop it before spawning a pool worker for it.
+                    continue
                 yield from self.pool.submit(thread, self._make_task(message))
 
     def _make_task(self, response: QueryResponse):

@@ -48,7 +48,7 @@ class RequestState:
     """Lifecycle bookkeeping for one in-flight upstream request."""
 
     __slots__ = ("request", "conn", "remaining", "fanout", "total_bytes",
-                 "arrived_at", "first_response_at")
+                 "arrived_at", "first_response_at", "session", "failed")
 
     def __init__(self, request: HttpRequest, conn: Connection, now: float) -> None:
         self.request = request
@@ -58,6 +58,13 @@ class RequestState:
         self.total_bytes = 0
         self.arrived_at = now
         self.first_response_at: Optional[float] = None
+        #: Per-sub-query trackers (seq -> tracker) installed by
+        #: :meth:`repro.faults.ResiliencePolicy.attach`; None when no
+        #: resilience policy is active.
+        self.session = None
+        #: Sub-queries that exhausted their retries; the request
+        #: completed with a degraded (partial) payload.
+        self.failed = 0
 
     @property
     def complete(self) -> bool:
@@ -85,13 +92,17 @@ class AppServer:
     def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
                  cluster: DatastoreCluster, rng_streams: RngStreams,
                  op_rule: Callable[[int], str] = default_op_rule,
-                 name: str = "") -> None:
+                 name: str = "", resilience: Optional[Any] = None) -> None:
         self.sim = sim
         self.metrics = metrics
         self.params = params
         self.cluster = cluster
         self.name = name or self.kind
         self.op_rule = op_rule
+        #: Optional shared :class:`~repro.faults.ResiliencePolicy`.
+        #: None (the default) keeps every code path identical to the
+        #: pre-resilience behaviour.
+        self.resilience = resilience
         self.cpu = Cpu(sim, metrics, params, name="app")
         self._fanout_rng = rng_streams.stream(f"{self.name}.fanout")
         self._request_cpu_rng = rng_streams.stream(f"{self.name}.request_cpu")
@@ -119,6 +130,30 @@ class AppServer:
         return []
 
     # -- shared helpers -----------------------------------------------------
+
+    def new_request_state(self, request: HttpRequest,
+                          conn: Connection) -> RequestState:
+        """A :class:`RequestState`, wired to the resilience policy."""
+        state = RequestState(request, conn, self.sim.now)
+        if self.resilience is not None:
+            self.resilience.attach(state)
+        return state
+
+    def arm_subquery(self, state: RequestState, query: Query,
+                     conn: Connection) -> None:
+        """Register a just-sent sub-query with the resilience policy
+        (deadline + hedge watchdogs).  No-op without a policy."""
+        if self.resilience is not None:
+            self.resilience.arm(state, query, conn)
+
+    def response_is_fresh(self, state: RequestState, response: Any) -> bool:
+        """True when *response* is the winning response for its
+        sub-query.  Stale duplicates (hedge losers, post-retry or
+        post-failure stragglers) must be dropped before any processing
+        CPU is charged."""
+        if self.resilience is None:
+            return True
+        return self.resilience.on_response(state, response)
 
     def build_queries(self, request: HttpRequest, context: Any) -> List[Query]:
         """One query per fanout target, on distinct shards."""
@@ -192,6 +227,8 @@ class AppServer:
         self.requests_completed += 1
         self.metrics.add("server.completed")
         self.metrics.add(f"server.completed.{state.request.klass}")
+        if state.failed:
+            self.metrics.add("server.completed.degraded")
         self.metrics.latency("server.time_in_server").record(
             self.sim.now, self.sim.now - state.arrived_at)
         yield from state.conn.send(thread, response, response.wire_size, to_side="a")

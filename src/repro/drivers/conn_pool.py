@@ -10,7 +10,7 @@ threads hammer it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..datastore.cluster import DatastoreCluster
 from ..messages import Query, QueryResponse
@@ -29,13 +29,16 @@ class SyncConnectionPool:
 
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, cluster: DatastoreCluster,
-                 name: str = "connpool") -> None:
+                 name: str = "connpool",
+                 resilience: Optional[Any] = None) -> None:
         self.sim = sim
         self.cpu = cpu
         self.metrics = metrics
         self.params = params
         self.cluster = cluster
         self.name = name
+        #: Optional shared :class:`~repro.faults.ResiliencePolicy`.
+        self.resilience = resilience
         self.mutex = Mutex(sim, cpu, metrics, params, name=name)
         self._free: List[List[Tuple[Connection, InboxEndpoint]]] = [
             [] for _ in range(cluster.n_shards)
@@ -73,13 +76,36 @@ class SyncConnectionPool:
 
     def sync_query(self, thread: SimThread, query: Query):
         """Coroutine: the full synchronous RPC — checkout, send, block
-        for the response, checkin.  Returns the :class:`QueryResponse`."""
+        for the response, checkin.  Returns the :class:`QueryResponse`.
+
+        With a resilience policy attached, the send is supervised
+        (deadline/retry/hedge watchdogs run off simulated timers while
+        this thread stays blocked, exactly like a driver whose socket
+        read has a timeout managed elsewhere), and the receive loop
+        skips stale messages: hedge losers and post-retry stragglers
+        left in the pooled connection's inbox by earlier checkouts.
+        """
         pair = yield from self.checkout(thread, query.shard_id)
         conn, inbox = pair
         yield thread.execute(self.params.fanout_send_cost, "app")
         yield from conn.send(thread, query, query.wire_size, to_side="b")
-        response = yield from inbox.recv(thread)
-        if not isinstance(response, QueryResponse):
-            raise TypeError(f"unexpected message on sync connection: {response!r}")
+        if self.resilience is not None:
+            self.resilience.arm(query.context, query, conn)
+        while True:
+            response = yield from inbox.recv(thread)
+            if not isinstance(response, QueryResponse):
+                raise TypeError(
+                    f"unexpected message on sync connection: {response!r}")
+            if (response.request_id != query.request_id
+                    or response.seq != query.seq):
+                # A straggler from a previous checkout of this pooled
+                # connection; its sub-query was already won.
+                self.metrics.add("resilience.stale_sync_responses")
+                continue
+            if (self.resilience is not None
+                    and not self.resilience.on_response(query.context,
+                                                        response)):
+                continue
+            break
         yield from self.checkin(thread, query.shard_id, pair)
         return response

@@ -93,11 +93,12 @@ class NettyBackendServer(AppServer):
         if not isinstance(message, HttpRequest):
             raise TypeError(f"unexpected upstream message: {message!r}")
         yield from self.parse_request(thread, message)
-        state = RequestState(message, channel.context, self.sim.now)
+        state = self.new_request_state(message, channel.context)
         for query in self.build_queries(message, context=state):
             yield thread.execute(self.params.fanout_send_cost, "app")
             conn = self._downstream[query.shard_id]
             yield from conn.send(thread, query, query.wire_size, to_side="b")
+            self.arm_subquery(state, query, conn)
 
     # -- backend reactors -------------------------------------------------
 
@@ -109,7 +110,9 @@ class NettyBackendServer(AppServer):
             for _channel, message in batch:
                 if not isinstance(message, QueryResponse):
                     raise TypeError(f"unexpected downstream message: {message!r}")
-                yield from self.process_response_cpu(thread, message.payload_size)
                 state: RequestState = message.context
+                if not self.response_is_fresh(state, message):
+                    continue
+                yield from self.process_response_cpu(thread, message.payload_size)
                 if state.absorb(message.payload_size, self.sim.now):
                     yield from self.frontend_selector.post(thread, state)

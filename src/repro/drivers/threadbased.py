@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..messages import HttpRequest
 from ..sim.network import Connection, InboxEndpoint
 from ..sim.threads import SimThread
-from .base import AppServer, RequestState
+from .base import AppServer
 from .conn_pool import SyncConnectionPool
 
 __all__ = ["ThreadBasedServer"]
@@ -29,7 +29,7 @@ class ThreadBasedServer(AppServer):
         super().__init__(*args, **kwargs)
         self.pool = SyncConnectionPool(
             self.sim, self.cpu, self.metrics, self.params, self.cluster,
-            name=f"{self.name}.connpool")
+            name=f"{self.name}.connpool", resilience=self.resilience)
         self.worker_threads = 0
 
     def start(self) -> None:
@@ -51,7 +51,7 @@ class ThreadBasedServer(AppServer):
             if not isinstance(request, HttpRequest):
                 raise TypeError(f"unexpected upstream message: {request!r}")
             yield from self.parse_request(thread, request)
-            state = RequestState(request, conn, self.sim.now)
+            state = self.new_request_state(request, conn)
             queries = self.build_queries(request, context=state)
             for query in queries:
                 response = yield from self.pool.sync_query(thread, query)

@@ -38,7 +38,7 @@ class Type1AsyncServer(AppServer):
             name=f"{self.name}.workers")
         self.conn_pool = SyncConnectionPool(
             self.sim, self.cpu, self.metrics, self.params, self.cluster,
-            name=f"{self.name}.connpool")
+            name=f"{self.name}.connpool", resilience=self.resilience)
         self.frontend_selector = Selector(
             self.sim, self.cpu, self.metrics, self.params,
             name=f"{self.name}.frontend")
@@ -67,7 +67,7 @@ class Type1AsyncServer(AppServer):
                 if not isinstance(message, HttpRequest):
                     raise TypeError(f"unexpected upstream message: {message!r}")
                 yield from self.parse_request(thread, message)
-                state = RequestState(message, channel.context, self.sim.now)
+                state = self.new_request_state(message, channel.context)
                 for query in self.build_queries(message, context=state):
                     # The "asynchronous" API call: hand the query to a
                     # pool worker and return immediately.

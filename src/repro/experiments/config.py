@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..faults import FaultConfig, ResilienceConfig
+
 __all__ = ["ExperimentConfig", "ExperimentResult", "SERVER_KINDS",
            "DATASTORE_KINDS"]
 
@@ -66,21 +68,50 @@ class ExperimentConfig:
     #: of the exact sample store (bounded memory for long windows; the
     #: reported percentiles become estimates).  Exact is the default.
     latency_sketch: bool = False
+    #: Deterministic fault injection (None = fault-free; the default
+    #: keeps every pre-existing run byte-identical).
+    faults: Optional[FaultConfig] = None
+    #: Driver resilience policy shared by all architectures (None = the
+    #: plain fire-and-forget driver behaviour).
+    resilience: Optional[ResilienceConfig] = None
+    #: Replicas per shard (1 = unreplicated; >1 enables failover and
+    #: hedging targets on secondary replicas).
+    replicas_per_shard: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.server not in SERVER_KINDS:
-            raise ValueError(f"unknown server kind {self.server!r}")
+            raise ValueError(
+                f"unknown server kind {self.server!r}; "
+                f"valid: {', '.join(SERVER_KINDS)}")
         if self.datastore not in DATASTORE_KINDS:
-            raise ValueError(f"unknown datastore kind {self.datastore!r}")
+            raise ValueError(
+                f"unknown datastore kind {self.datastore!r}; "
+                f"valid: {', '.join(DATASTORE_KINDS)}")
         if self.workload not in ("closed", "open"):
             raise ValueError(f"unknown workload kind {self.workload!r}")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
         if self.fanout > self.n_shards:
             raise ValueError("fanout cannot exceed shard count")
+        if self.response_size < 1:
+            raise ValueError("response_size must be >= 1 byte")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+        if self.think_time <= 0:
+            raise ValueError("think_time must be positive")
         if (self.lfan is None) != (self.sfan is None):
             raise ValueError("lfan and sfan must be set together")
+        if self.lfan is not None and (self.lfan < 1 or self.sfan < 1):
+            raise ValueError("lfan/sfan must be >= 1")
         if self.duration <= 0 or self.warmup < 0:
             raise ValueError("bad warmup/duration")
+        if self.replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
         if not self.label:
             self.label = self.server
 
@@ -119,6 +150,10 @@ class ExperimentResult:
     completed: float
     #: Window length [s].
     window: float
+    #: Fault/resilience counters over the window (``resilience.*``,
+    #: ``faults.*``, ``server.completed.degraded``); empty when no
+    #: faults or resilience policy were configured.
+    fault_counters: Dict[str, float] = field(default_factory=dict)
 
     def percentile(self, q: float) -> float:
         return self.percentiles[q]

@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..faults import FaultConfig, ResilienceConfig
 from ..sim.params import KB
 from .config import ExperimentConfig
 from .parallel import BatchExecutor, resolve_jobs, run_experiments
@@ -27,7 +28,8 @@ from .report import normalize, render_series, render_table
 
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
-           "fig15", "fig16", "fig17", "tab1", "tab2", "tab3"]
+           "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
+           "fault_tail", "hedging"]
 
 #: When set (by :func:`run_exhibits`), every exhibit's point batch is
 #: routed through this shared executor instead of a private pool, so
@@ -546,11 +548,144 @@ def fig17(quick: bool = True, seed: int = 42,
                          jobs=jobs)
 
 
+# ---------------------------------------------------------------------------
+# Fault exhibits — tail latency under failure (repro.faults)
+# ---------------------------------------------------------------------------
+
+#: The slow-shard fault both fault exhibits inject: two shards serve
+#: 100x slower during "brown-out" windows covering ~30% of the run, so
+#: a fanout-5 request over 20 shards hits an active slow shard often
+#: enough to wreck p99 (~10x p50) while barely moving p50.
+FAULT_SLOW_SHARDS = FaultConfig(
+    slow_shards=2, slow_factor=100.0, slow_mean_on=0.3, slow_mean_off=0.7)
+
+#: Per-sub-query deadline / retry budget shared by the resilient
+#: policies below (calibrated well above the healthy sub-query tail,
+#: well below the 30x brown-out service time).
+_FAULT_DEADLINE = 5e-3
+_FAULT_RETRY = dict(subquery_deadline=_FAULT_DEADLINE, max_retries=3,
+                    backoff_base=0.5e-3, backoff_cap=2e-3)
+
+#: Servers compared under failure.
+FAULT_SERVERS = (("DoubleFaceNetty", "doubleface"),
+                 ("NettyBackend", "netty"),
+                 ("AIOBackend", "aio"))
+
+
+def _fault_point(kind: str, resilience: Optional[ResilienceConfig],
+                 quick: bool, seed: int, **kw) -> ExperimentConfig:
+    return ExperimentConfig(
+        server=kind, concurrency=20, fanout=5, response_size=100,
+        warmup=0.5, duration=1.5 if quick else 6.0, seed=seed,
+        faults=FAULT_SLOW_SHARDS, resilience=resilience,
+        replicas_per_shard=2, keep_selector_stats=False, **kw)
+
+
+def _fault_summary(result) -> Dict[str, float]:
+    counters = result.fault_counters
+    return {
+        "p50": result.percentiles[50.0],
+        "p99": result.percentiles[99.0],
+        "throughput": result.throughput,
+        "retries": counters.get("resilience.retries", 0.0),
+        "hedges": counters.get("resilience.hedges", 0.0),
+        "hedge_wins": counters.get("resilience.hedge_wins", 0.0),
+        "retry_wins": counters.get("resilience.retry_wins", 0.0),
+        "deadline_misses": counters.get("resilience.deadline_misses", 0.0),
+        "failovers": counters.get("resilience.failovers", 0.0),
+        "failed_subqueries": counters.get(
+            "resilience.failed_subqueries", 0.0),
+        "degraded": counters.get("server.completed.degraded", 0.0),
+    }
+
+
+def fault_tail(quick: bool = True, seed: int = 42,
+               jobs: Optional[int] = 1) -> ExhibitResult:
+    """Tail latency under a slow-shard fault, with and without driver
+    resilience.
+
+    Three architectures x three policies (no resilience / deadline+retry
+    with replica failover / the same plus an adaptive p95 hedge) under
+    :data:`FAULT_SLOW_SHARDS` with two replicas per shard.  The headline
+    result the benchmark suite pins: hedging+retry recovers >= 2x of the
+    no-resilience p99.
+    """
+    policies = (
+        ("no-resilience", None),
+        ("retry", ResilienceConfig(**_FAULT_RETRY)),
+        ("hedge+retry", ResilienceConfig(
+            hedge_percentile=95.0, hedge_min_samples=50, **_FAULT_RETRY)),
+    )
+    points: List[Tuple[Any, ExperimentConfig]] = [
+        ((server_label, policy_label),
+         _fault_point(kind, policy, quick, seed))
+        for server_label, kind in FAULT_SERVERS
+        for policy_label, policy in policies]
+    data: Dict[str, Dict[str, Dict[str, float]]] = {
+        server_label: {} for server_label, _kind in FAULT_SERVERS}
+    for (server_label, policy_label), result in _run_points(points, jobs):
+        data[server_label][policy_label] = _fault_summary(result)
+    policy_labels = [label for label, _p in policies]
+    sections = []
+    for server_label, _kind in FAULT_SERVERS:
+        rows = [[label,
+                 round(1e3 * data[server_label][label]["p50"], 2),
+                 round(1e3 * data[server_label][label]["p99"], 2),
+                 round(data[server_label][label]["throughput"]),
+                 round(data[server_label][label]["retries"]),
+                 round(data[server_label][label]["hedges"]),
+                 round(data[server_label][label]["failed_subqueries"])]
+                for label in policy_labels]
+        sections.append(render_table(
+            f"Fault tail ({server_label}): slow-shard brown-out, "
+            "2 replicas/shard",
+            ["policy", "p50 [ms]", "p99 [ms]", "tput [req/s]",
+             "retries", "hedges", "failed"], rows))
+    return ExhibitResult("fault_tail",
+                         "Tail latency under a slow-shard fault",
+                         "\n\n".join(sections), data)
+
+
+def hedging(quick: bool = True, seed: int = 42,
+            jobs: Optional[int] = 1) -> ExhibitResult:
+    """Hedging-policy sweep on DoubleFaceNetty under the slow-shard
+    fault: no hedge, fixed hedge delays, and the adaptive p95 hedge,
+    all on top of the same deadline+retry safety net."""
+    policies = (
+        ("no-hedge", ResilienceConfig(**_FAULT_RETRY)),
+        ("hedge-2ms", ResilienceConfig(hedge_delay=2e-3, **_FAULT_RETRY)),
+        ("hedge-4ms", ResilienceConfig(hedge_delay=4e-3, **_FAULT_RETRY)),
+        ("hedge-p95", ResilienceConfig(
+            hedge_percentile=95.0, hedge_min_samples=50, **_FAULT_RETRY)),
+    )
+    points: List[Tuple[Any, ExperimentConfig]] = [
+        (label, _fault_point("doubleface", policy, quick, seed))
+        for label, policy in policies]
+    data: Dict[str, Dict[str, float]] = {}
+    for label, result in _run_points(points, jobs):
+        data[label] = _fault_summary(result)
+    rows = [[label,
+             round(1e3 * data[label]["p50"], 2),
+             round(1e3 * data[label]["p99"], 2),
+             round(data[label]["throughput"]),
+             round(data[label]["hedges"]),
+             round(data[label]["hedge_wins"]),
+             round(data[label]["retries"])]
+            for label, _policy in policies]
+    text = render_table(
+        "Hedging policies (DoubleFaceNetty, slow-shard brown-out)",
+        ["policy", "p50 [ms]", "p99 [ms]", "tput [req/s]", "hedges",
+         "hedge wins", "retries"], rows)
+    return ExhibitResult("hedging", "Hedged-request policy sweep", text,
+                         data)
+
+
 #: Registry used by the CLI and the benchmark suite.
 EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
     "fig04": fig04, "fig05": fig05, "fig07": fig07, "fig09": fig09,
     "fig13": fig13, "fig14": fig14, "fig15": fig15, "fig16": fig16,
     "fig17": fig17, "tab1": tab1, "tab2": tab2, "tab3": tab3,
+    "fault_tail": fault_tail, "hedging": hedging,
 }
 
 
@@ -574,6 +709,7 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
 _EXHIBIT_COST: Dict[str, int] = {
     "fig15": 100, "fig16": 60, "fig17": 60, "fig14": 40, "fig05": 30,
     "fig13": 20, "fig04": 15, "fig09": 10, "fig07": 8,
+    "fault_tail": 6, "hedging": 4,
     "tab1": 5, "tab2": 4, "tab3": 4,
 }
 

@@ -18,6 +18,17 @@ Design notes:
 - **chunked dispatch.**  Configs are submitted in chunks (a few chunks
   per worker) so cheap points amortise IPC without one slow chunk
   serialising the tail.
+- **heaviest points first.**  Within a batch, configs are dispatched in
+  descending estimated cost (simulated seconds x load) so a grid's
+  expensive corner (conc=256, long windows) starts immediately instead
+  of landing on an almost-drained pool; results are re-ordered back to
+  submission order before returning, so callers never see the shuffle.
+- **explicit pickle protocol.**  Results cross the process boundary
+  pre-pickled with ``pickle.HIGHEST_PROTOCOL`` (out-of-band, inside the
+  worker) instead of the ``multiprocessing`` default, which is pinned
+  to protocol 2-era framing; large ``ExperimentResult`` payloads (tail
+  exhibits carry thousands of latency samples) serialise measurably
+  faster and smaller.
 - **serial fallback.**  ``jobs=1`` (or a single config) never touches
   multiprocessing at all: the configs run in-process through
   :func:`run_experiment`, keeping tests and debugging simple.
@@ -29,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from typing import Iterable, List, Optional, Sequence
 
 from .config import ExperimentConfig, ExperimentResult
@@ -57,26 +69,53 @@ def _chunksize(n_configs: int, jobs: int) -> int:
     return max(1, -(-n_configs // (jobs * CHUNKS_PER_WORKER)))
 
 
+def _config_cost(config: ExperimentConfig) -> float:
+    """Estimated relative wall-clock cost of one point: simulated
+    seconds times offered load.  Only the *ordering* matters (heaviest
+    dispatched first); correctness never depends on the estimate."""
+    load = (config.concurrency if config.workload == "closed"
+            else config.users)
+    return (config.warmup + config.duration) * load
+
+
+def _cost_order(configs: Sequence[ExperimentConfig]) -> List[int]:
+    """Indices in descending estimated cost (ties keep submission
+    order, keeping the dispatch deterministic)."""
+    return sorted(range(len(configs)),
+                  key=lambda i: (-_config_cost(configs[i]), i))
+
+
+def _run_pickled(config: ExperimentConfig) -> bytes:
+    """Worker entry point: run the point and pickle the result with the
+    highest protocol *inside* the worker, so the bytes cross the pipe
+    as-is instead of through multiprocessing's default pickler."""
+    return pickle.dumps(run_experiment(config), pickle.HIGHEST_PROTOCOL)
+
+
 def run_experiments(configs: Iterable[ExperimentConfig],
                     jobs: Optional[int] = 1) -> List[ExperimentResult]:
     """Run every config, returning results in the order configs came in.
 
     ``jobs=1`` runs serially in-process; ``jobs>1`` fans out over a
-    spawn-context pool; ``jobs=0``/``None`` uses one worker per CPU.
-    Both paths produce identical results for identical configs: each
-    point is an isolated deterministic simulation keyed only by its own
-    config (which carries the seed).
+    spawn-context pool, heaviest points first; ``jobs=0``/``None`` uses
+    one worker per CPU.  All paths produce identical results for
+    identical configs: each point is an isolated deterministic
+    simulation keyed only by its own config (which carries the seed),
+    and parallel results are merged back by submission position.
     """
     configs = list(configs)
     jobs = min(resolve_jobs(jobs), len(configs))
     if jobs <= 1:
         return [run_experiment(config) for config in configs]
+    order = _cost_order(configs)
     ctx = multiprocessing.get_context("spawn")
     with ctx.Pool(processes=jobs) as pool:
-        # Pool.map preserves submission order, which is the
-        # deterministic-merge guarantee the exhibits rely on.
-        return pool.map(run_experiment, configs,
-                        chunksize=_chunksize(len(configs), jobs))
+        payloads = pool.map(_run_pickled, [configs[i] for i in order],
+                            chunksize=_chunksize(len(configs), jobs))
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    for position, payload in zip(order, payloads):
+        results[position] = pickle.loads(payload)
+    return results
 
 
 class BatchExecutor:
@@ -99,10 +138,20 @@ class BatchExecutor:
         self._pool = ctx.Pool(processes=self.jobs)
 
     def run(self, configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
-        """Run one batch; results in the batch's submission order."""
-        handles = [self._pool.apply_async(run_experiment, (config,))
-                   for config in configs]
-        return [handle.get() for handle in handles]
+        """Run one batch; results in the batch's submission order.
+
+        The batch's points enter the shared queue heaviest-first (see
+        :func:`_config_cost`) and come back as highest-protocol pickles;
+        the positional gather restores submission order.
+        """
+        configs = list(configs)
+        handles = {
+            position: self._pool.apply_async(_run_pickled,
+                                             (configs[position],))
+            for position in _cost_order(configs)
+        }
+        return [pickle.loads(handles[position].get())
+                for position in range(len(configs))]
 
     def close(self) -> None:
         self._pool.close()

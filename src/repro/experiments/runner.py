@@ -11,7 +11,7 @@ example, and test that wants a complete simulated run.  The flow:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.doubleface import DoubleFaceServer
 from ..core.scheduling import FanoutAwareScheduler, FifoScheduler
@@ -20,6 +20,7 @@ from ..drivers.aio_backend import AioBackendServer
 from ..drivers.netty_backend import NettyBackendServer
 from ..drivers.threadbased import ThreadBasedServer
 from ..drivers.type1 import Type1AsyncServer
+from ..faults import FaultSchedule, ResiliencePolicy
 from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
 from ..sim.params import CostParams
@@ -55,25 +56,31 @@ def build_params(config: ExperimentConfig) -> CostParams:
 
 def _build_server(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
                   params: CostParams, cluster: DatastoreCluster,
-                  rng: RngStreams):
+                  rng: RngStreams, resilience: Optional[ResiliencePolicy]):
     kind = config.server
     if kind == "threadbased":
-        return ThreadBasedServer(sim, metrics, params, cluster, rng)
+        return ThreadBasedServer(sim, metrics, params, cluster, rng,
+                                 resilience=resilience)
     if kind == "type1":
-        return Type1AsyncServer(sim, metrics, params, cluster, rng)
+        return Type1AsyncServer(sim, metrics, params, cluster, rng,
+                                resilience=resilience)
     if kind == "aio":
-        return AioBackendServer(sim, metrics, params, cluster, rng)
+        return AioBackendServer(sim, metrics, params, cluster, rng,
+                                resilience=resilience)
     if kind == "netty":
         return NettyBackendServer(sim, metrics, params, cluster, rng,
-                                  backend_reactors=config.backend_reactors)
+                                  backend_reactors=config.backend_reactors,
+                                  resilience=resilience)
     if kind == "doubleface":
         return DoubleFaceServer(sim, metrics, params, cluster, rng,
                                 reactors=config.reactors,
-                                scheduler=FanoutAwareScheduler())
+                                scheduler=FanoutAwareScheduler(),
+                                resilience=resilience)
     if kind == "doubleface-fifo":
         return DoubleFaceServer(sim, metrics, params, cluster, rng,
                                 reactors=config.reactors,
-                                scheduler=FifoScheduler())
+                                scheduler=FifoScheduler(),
+                                resilience=resilience)
     raise ValueError(f"unknown server kind {kind!r}")
 
 
@@ -97,12 +104,22 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     metrics = Metrics(latency_sketch=config.latency_sketch)
     params = build_params(config)
     rng = RngStreams(config.seed)
+    faults = None
+    if config.faults is not None and config.faults.active:
+        faults = FaultSchedule(config.faults, rng, n_shards=config.n_shards)
     cluster = DatastoreCluster(
         sim, metrics, params, rng, n_shards=config.n_shards,
         large_shards=config.large_shards,
         remote=(config.datastore == "dynamodb"),
-        name=config.datastore)
-    server = _build_server(config, sim, metrics, params, cluster, rng)
+        name=config.datastore,
+        replicas_per_shard=config.replicas_per_shard,
+        faults=faults)
+    resilience = None
+    if config.resilience is not None and config.resilience.active:
+        resilience = ResiliencePolicy(sim, metrics, config.resilience, rng,
+                                      cluster)
+    server = _build_server(config, sim, metrics, params, cluster, rng,
+                           resilience)
     profile = _build_profile(config)
     if config.workload == "closed":
         workload = ClosedLoopWorkload(
@@ -152,6 +169,13 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         samples = metrics.series["cpu.runnable"].window(
             metrics.window_start, now)
 
+    fault_counters = {
+        name: metrics.count(name)
+        for name in sorted(metrics.counters)
+        if (name.startswith("resilience.") or name.startswith("faults.")
+            or name == "server.completed.degraded")
+    }
+
     return ExperimentResult(
         config=config,
         throughput=metrics.rate("client.completed", now),
@@ -173,4 +197,5 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         thread_samples=samples,
         completed=metrics.count("client.completed"),
         window=window,
+        fault_counters=fault_counters,
     )

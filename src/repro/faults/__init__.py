@@ -1,0 +1,21 @@
+"""Deterministic fault injection and driver resilience.
+
+The fault side (:mod:`repro.faults.schedule`) perturbs the simulated
+world — shard slowdown windows, shard crash/recovery intervals, network
+latency spikes, message loss — from dedicated
+:class:`~repro.sim.rng.RngStreams` streams, so a faulty run is exactly
+as reproducible as a healthy one and ``--jobs N`` stays float-identical
+to serial.
+
+The resilience side (:mod:`repro.faults.resilience`) is what a
+production driver layers on top: per-sub-query deadlines, capped
+exponential-backoff retries, hedged requests, and replica failover.  It
+plugs into :class:`~repro.drivers.base.AppServer`, so every server
+architecture under study shares one policy implementation.
+"""
+
+from .schedule import FaultConfig, FaultSchedule
+from .resilience import HEDGE_ATTEMPT, ResilienceConfig, ResiliencePolicy
+
+__all__ = ["FaultConfig", "FaultSchedule", "ResilienceConfig",
+           "ResiliencePolicy", "HEDGE_ATTEMPT"]

@@ -1,0 +1,296 @@
+"""Driver-side resilience: deadlines, retries, hedging, failover.
+
+One :class:`ResiliencePolicy` per run, shared by every component that
+sends fanout queries (:class:`~repro.drivers.base.AppServer` reactors
+and the :class:`~repro.drivers.conn_pool.SyncConnectionPool`).  The
+contract:
+
+- :meth:`ResiliencePolicy.attach` gives a
+  :class:`~repro.drivers.base.RequestState` a per-sub-query session map.
+- :meth:`ResiliencePolicy.arm` is called right after a sub-query's
+  initial send; it schedules the deadline and hedge watchdogs as bare
+  ``call_later`` kernel entries (no thread is blocked waiting).
+- :meth:`ResiliencePolicy.on_response` is called for every response
+  surfacing from a shard connection; the **first** response per
+  sub-query wins, duplicates (hedge losers, post-retry stragglers,
+  post-failure stragglers) report stale and are dropped by the caller
+  before any processing CPU is charged.
+
+A sub-query armed with a deadline is *guaranteed* to produce exactly
+one winning response: either a real one arrives, or after
+``max_retries`` resends the policy synthesises a failed
+:class:`~repro.messages.QueryResponse` (``failed=True``, empty payload)
+and delivers it through the same endpoint real responses use.  The
+request completes degraded instead of wedging its closed-loop user.
+
+Retried and hedged sub-queries stay *outstanding* until their winning
+response is absorbed — ``RequestState.remaining`` only ever decrements
+on a win — so the DoubleFaceAD batch scheduler's fewest-remaining-first
+ordering keeps working unmodified semantics under faults.
+
+Determinism: backoff jitter is the only randomness, drawn from the
+dedicated ``resilience.jitter`` stream in watchdog-firing order, which
+the single-threaded simulator fixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List
+
+from ..datastore.sharding import failover_replica
+from ..messages import Query, QueryResponse
+from ..sim.kernel import Simulator
+from ..sim.metrics import Metrics
+from ..sim.rng import RngStreams
+
+__all__ = ["ResilienceConfig", "ResiliencePolicy", "HEDGE_ATTEMPT"]
+
+#: ``Query.attempt`` tag for hedged sends (retries use 1..max_retries),
+#: so hedge wins are distinguishable from retry wins in the metrics.
+HEDGE_ATTEMPT = -1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the driver reacts to slow or lost sub-queries."""
+
+    #: Per-sub-query deadline; 0 disables deadlines (and thus retries).
+    subquery_deadline: float = 0.0
+    #: Resends after the first deadline miss before giving up.
+    max_retries: int = 0
+    #: First backoff delay; doubles per retry up to ``backoff_cap``.
+    backoff_base: float = 0.5e-3
+    backoff_cap: float = 8e-3
+    #: Symmetric jitter fraction applied to each backoff delay
+    #: (0.2 = +/-20%), drawn from the ``resilience.jitter`` stream.
+    backoff_jitter: float = 0.2
+
+    #: Fixed hedge delay: send a duplicate to another replica this long
+    #: after the original.  0 disables the fixed hedge.
+    hedge_delay: float = 0.0
+    #: Adaptive hedge: hedge at this percentile of observed sub-query
+    #: latency (e.g. 95.0).  0 disables; ignored when ``hedge_delay``
+    #: is set.  No hedges fire until ``hedge_min_samples`` completions.
+    hedge_percentile: float = 0.0
+    hedge_min_samples: int = 50
+
+    #: Route retries and hedges to the next replica (requires
+    #: ``replicas_per_shard > 1`` to have any effect).
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.subquery_deadline < 0:
+            raise ValueError("subquery_deadline must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.hedge_delay < 0:
+            raise ValueError("hedge_delay must be >= 0")
+        if not 0.0 <= self.hedge_percentile <= 100.0:
+            raise ValueError("hedge_percentile must be in [0, 100]")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return (self.subquery_deadline > 0 or self.hedge_delay > 0
+                or self.hedge_percentile > 0)
+
+
+class _SubTracker:
+    """Lifecycle of one armed sub-query (all attempts share it)."""
+
+    __slots__ = ("query", "state", "conn", "attempts", "done", "sent_at",
+                 "hedged")
+
+    def __init__(self, query: Query, state: Any, conn: Any,
+                 sent_at: float) -> None:
+        self.query = query
+        self.state = state
+        self.conn = conn
+        self.attempts = 1          # sends so far, including the original
+        self.done = False
+        self.sent_at = sent_at
+        self.hedged = False
+
+
+class ResiliencePolicy:
+    """Shared deadline/retry/hedge/failover engine for one run."""
+
+    #: Sliding window size for the adaptive hedge-delay percentile.
+    WINDOW = 512
+    #: Recompute the cached percentile every this many completions.
+    REFRESH = 64
+
+    def __init__(self, sim: Simulator, metrics: Metrics,
+                 config: ResilienceConfig, rng_streams: RngStreams,
+                 cluster: Any) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.config = config
+        self.cluster = cluster
+        self.replicas = getattr(cluster, "replicas_per_shard", 1)
+        self._rng: random.Random = rng_streams.stream("resilience.jitter")
+        self._window: List[float] = []
+        self._window_pos = 0
+        self._completions = 0
+        self._hedge_cached: float = -1.0  # <0 = needs recompute
+        #: Lazily opened replica connections, keyed by
+        #: (primary connection id, shard, replica).  A replica
+        #: connection shares the primary's receive endpoint, so failover
+        #: responses surface exactly where primary responses do.
+        self._replica_conns: Dict[Any, Any] = {}
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, state: Any) -> None:
+        """Give *state* a sub-query session map (seq -> tracker)."""
+        state.session = {}
+
+    def arm(self, state: Any, query: Query, conn: Any) -> None:
+        """Register *query*, just sent on *conn*, for supervision."""
+        deadline = self.config.subquery_deadline
+        hedge = self._hedge_delay()
+        if deadline <= 0 and hedge <= 0:
+            return
+        tracker = _SubTracker(query, state, conn, self.sim.now)
+        state.session[query.seq] = tracker
+        if deadline > 0:
+            self.sim.call_later(deadline, self._deadline_cb, tracker)
+        if hedge > 0 and (deadline <= 0 or hedge < deadline):
+            self.sim.call_later(hedge, self._hedge_cb, tracker)
+
+    def on_response(self, state: Any, response: QueryResponse) -> bool:
+        """Account *response*; False = stale duplicate, drop it."""
+        session = state.session
+        if session is None:
+            return True
+        tracker = session.get(response.seq)
+        if tracker is None:
+            # Sub-query was never armed (no deadline, hedging not yet
+            # warmed up): exactly one response exists.
+            return True
+        if tracker.done:
+            self.metrics.add("resilience.duplicates")
+            return False
+        tracker.done = True
+        self._observe(self.sim.now - tracker.sent_at)
+        if response.failed:
+            state.failed += 1
+        elif response.attempt == HEDGE_ATTEMPT:
+            self.metrics.add("resilience.hedge_wins")
+        elif response.attempt > 0:
+            self.metrics.add("resilience.retry_wins")
+        return True
+
+    # -- watchdogs (bare call_later callbacks; no simulated thread) --------
+
+    def _deadline_cb(self, tracker: _SubTracker) -> None:
+        if tracker.done:
+            return
+        self.metrics.add("resilience.deadline_misses")
+        cfg = self.config
+        if tracker.attempts <= cfg.max_retries:
+            delay = min(cfg.backoff_cap,
+                        cfg.backoff_base * (2.0 ** (tracker.attempts - 1)))
+            if cfg.backoff_jitter > 0:
+                delay *= 1.0 + cfg.backoff_jitter * (
+                    2.0 * self._rng.random() - 1.0)
+            self.sim.call_later(delay, self._retry_cb, tracker)
+        else:
+            self._fail(tracker)
+
+    def _retry_cb(self, tracker: _SubTracker) -> None:
+        if tracker.done:
+            return
+        tracker.attempts += 1
+        self.metrics.add("resilience.retries")
+        attempt = tracker.attempts - 1
+        replica = (failover_replica(attempt, self.replicas)
+                   if self.config.failover else 0)
+        if replica:
+            self.metrics.add("resilience.failovers")
+        self._transmit(tracker, replace(tracker.query, attempt=attempt),
+                       replica)
+        self.sim.call_later(self.config.subquery_deadline,
+                            self._deadline_cb, tracker)
+
+    def _hedge_cb(self, tracker: _SubTracker) -> None:
+        if tracker.done or tracker.hedged:
+            return
+        tracker.hedged = True
+        self.metrics.add("resilience.hedges")
+        replica = (failover_replica(1, self.replicas)
+                   if self.config.failover else 0)
+        if replica:
+            self.metrics.add("resilience.failovers")
+        self._transmit(tracker,
+                       replace(tracker.query, attempt=HEDGE_ATTEMPT),
+                       replica)
+
+    def _fail(self, tracker: _SubTracker) -> None:
+        """Out of retries: synthesise a failed response so the request
+        completes (degraded) instead of wedging its user."""
+        self.metrics.add("resilience.failed_subqueries")
+        query = tracker.query
+        response = QueryResponse(
+            request_id=query.request_id, shard_id=query.shard_id,
+            payload_size=0, seq=query.seq, context=tracker.state,
+            failed=True)
+        # Deliver through the same endpoint real responses use, so every
+        # architecture's normal response path handles it.
+        tracker.conn.endpoint_a.deliver(response)
+
+    # -- resends ------------------------------------------------------------
+
+    def _transmit(self, tracker: _SubTracker, query: Query,
+                  replica: int) -> None:
+        conn = tracker.conn
+        if replica > 0:
+            key = (conn.cid, query.shard_id, replica)
+            rconn = self._replica_conns.get(key)
+            if rconn is None:
+                rconn = self.cluster.connect_shard(query.shard_id, replica)
+                rconn.attach("a", conn.endpoint_a)
+                self._replica_conns[key] = rconn
+            conn = rconn
+        conn.transmit(query, query.wire_size, to_side="b")
+
+    # -- adaptive hedging ---------------------------------------------------
+
+    def _observe(self, latency: float) -> None:
+        window = self._window
+        if len(window) < self.WINDOW:
+            window.append(latency)
+        else:
+            window[self._window_pos] = latency
+            self._window_pos = (self._window_pos + 1) % self.WINDOW
+        self._completions += 1
+        if self._completions % self.REFRESH == 0:
+            self._hedge_cached = -1.0
+
+    def _hedge_delay(self) -> float:
+        cfg = self.config
+        if cfg.hedge_delay > 0:
+            return cfg.hedge_delay
+        if cfg.hedge_percentile <= 0:
+            return 0.0
+        if self._completions < cfg.hedge_min_samples:
+            return 0.0
+        if self._hedge_cached < 0:
+            values = sorted(self._window)
+            rank = min(len(values) - 1,
+                       int(len(values) * cfg.hedge_percentile / 100.0))
+            self._hedge_cached = values[rank]
+        return self._hedge_cached
+
+    # -- reporting ----------------------------------------------------------
+
+    COUNTERS = ("retries", "retry_wins", "hedges", "hedge_wins",
+                "deadline_misses", "failovers", "failed_subqueries",
+                "duplicates")

@@ -1,0 +1,193 @@
+"""Seed-driven fault schedules for the simulated datastore tier.
+
+A :class:`FaultSchedule` is built once per run from the run's
+:class:`~repro.sim.rng.RngStreams` and queried from three hook points:
+
+- :meth:`FaultSchedule.service_multiplier` /
+  :meth:`FaultSchedule.is_down` — by each
+  :class:`~repro.datastore.server.ShardServer` serve loop;
+- :meth:`FaultSchedule.extra_latency` /
+  :meth:`FaultSchedule.drop_message` — by
+  :meth:`repro.sim.network.Connection.transmit` on app↔shard links.
+
+Determinism: every on/off timeline is drawn interval-by-interval from
+its own named stream (``faults.slow.<shard>``, ``faults.crash.<shard>``,
+``faults.spikes``), so interval *i* is always the *i*-th draw from that
+stream — the timeline is a pure function of ``(seed, stream name)`` and
+query times never influence it.  Which shards are targeted comes from
+``faults.targets``.  Message-loss draws come from ``faults.loss`` in
+send order, which the single-threaded simulator makes deterministic.
+Because named streams are independent, an inactive ``FaultConfig``
+(the default ``faults=None``) leaves every existing stream's draw
+sequence untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.rng import RngStreams
+
+__all__ = ["FaultConfig", "FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Which faults to inject, and how hard.
+
+    All durations are simulated seconds.  Every fault family is off by
+    default; a default-constructed config injects nothing.
+    """
+
+    #: Number of shards subject to slowdown windows.
+    slow_shards: int = 0
+    #: Service-time multiplier inside a slowdown window.
+    slow_factor: float = 20.0
+    #: Mean slowdown-window length (exponentially distributed).
+    slow_mean_on: float = 0.25
+    #: Mean healthy gap between slowdown windows.
+    slow_mean_off: float = 0.75
+
+    #: Number of shards subject to crash/recovery cycling.
+    crash_shards: int = 0
+    #: Mean up-time between crashes (MTBF).
+    crash_mtbf: float = 2.0
+    #: Mean down-time per crash (MTTR).  A down shard silently drops
+    #: arriving queries, like a dead TCP peer.
+    crash_mttr: float = 0.25
+
+    #: Network latency spikes per second (0 disables spikes).
+    spike_rate: float = 0.0
+    #: Extra one-way latency while a spike is active.
+    spike_extra: float = 0.0
+    #: Mean spike duration.
+    spike_duration: float = 0.01
+
+    #: Probability that any single app<->shard message is lost.
+    loss_prob: float = 0.0
+
+    #: When False (default), faults hit only replica 0 of each shard, so
+    #: failover targets stay healthy; True degrades every replica.
+    all_replicas: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slow_shards < 0 or self.crash_shards < 0:
+            raise ValueError("fault shard counts must be >= 0")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+        if self.slow_shards and (self.slow_mean_on <= 0
+                                 or self.slow_mean_off <= 0):
+            raise ValueError("slowdown window means must be positive")
+        if self.crash_shards and (self.crash_mtbf <= 0
+                                  or self.crash_mttr <= 0):
+            raise ValueError("crash MTBF/MTTR must be positive")
+        if self.spike_rate < 0 or self.spike_extra < 0:
+            raise ValueError("spike rate/extra must be >= 0")
+        if self.spike_rate > 0 and self.spike_duration <= 0:
+            raise ValueError("spike_duration must be positive")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+    @property
+    def active(self) -> bool:
+        """True when at least one fault family is enabled."""
+        return bool(self.slow_shards or self.crash_shards
+                    or (self.spike_rate > 0 and self.spike_extra > 0)
+                    or self.loss_prob > 0)
+
+
+class _WindowTrack:
+    """An alternating off/on timeline with exponential interval lengths.
+
+    ``active(now)`` must be queried at nondecreasing times (the
+    simulator clock is monotone), letting the cursor advance lazily in
+    O(1) amortised per query.
+    """
+
+    __slots__ = ("_rng", "_mean_on", "_mean_off", "_on", "_until")
+
+    def __init__(self, rng: random.Random, mean_on: float,
+                 mean_off: float) -> None:
+        self._rng = rng
+        self._mean_on = mean_on
+        self._mean_off = mean_off
+        self._on = False
+        # Start healthy for a random fraction of a gap, so window phases
+        # differ across targeted shards.
+        self._until = rng.expovariate(1.0 / mean_off)
+
+    def active(self, now: float) -> bool:
+        while now >= self._until:
+            self._on = not self._on
+            mean = self._mean_on if self._on else self._mean_off
+            self._until += self._rng.expovariate(1.0 / mean)
+        return self._on
+
+
+class FaultSchedule:
+    """The realised fault timeline for one run."""
+
+    def __init__(self, config: FaultConfig, rng_streams: RngStreams,
+                 n_shards: int) -> None:
+        self.config = config
+        self.n_shards = n_shards
+        pick = rng_streams.stream("faults.targets")
+        self.slow_ids: List[int] = sorted(pick.sample(
+            range(n_shards), min(config.slow_shards, n_shards)))
+        self.crash_ids: List[int] = sorted(pick.sample(
+            range(n_shards), min(config.crash_shards, n_shards)))
+        self._slow: Dict[int, _WindowTrack] = {
+            shard_id: _WindowTrack(
+                rng_streams.stream(f"faults.slow.{shard_id}"),
+                config.slow_mean_on, config.slow_mean_off)
+            for shard_id in self.slow_ids}
+        self._crash: Dict[int, _WindowTrack] = {
+            shard_id: _WindowTrack(
+                rng_streams.stream(f"faults.crash.{shard_id}"),
+                config.crash_mttr, config.crash_mtbf)
+            for shard_id in self.crash_ids}
+        self._spike: Optional[_WindowTrack] = None
+        if config.spike_rate > 0 and config.spike_extra > 0:
+            self._spike = _WindowTrack(
+                rng_streams.stream("faults.spikes"),
+                config.spike_duration, 1.0 / config.spike_rate)
+        self._loss_rng: Optional[random.Random] = (
+            rng_streams.stream("faults.loss")
+            if config.loss_prob > 0 else None)
+
+    def _applies(self, replica: int) -> bool:
+        return replica == 0 or self.config.all_replicas
+
+    # -- shard-side hooks ---------------------------------------------------
+
+    def service_multiplier(self, shard_id: int, replica: int,
+                           now: float) -> float:
+        """Service-time multiplier for a query served at *now*."""
+        if not self._applies(replica):
+            return 1.0
+        track = self._slow.get(shard_id)
+        if track is not None and track.active(now):
+            return self.config.slow_factor
+        return 1.0
+
+    def is_down(self, shard_id: int, replica: int, now: float) -> bool:
+        """True while the shard replica is crashed (queries are dropped)."""
+        if not self._applies(replica):
+            return False
+        track = self._crash.get(shard_id)
+        return track is not None and track.active(now)
+
+    # -- network-side hooks -------------------------------------------------
+
+    def extra_latency(self, now: float) -> float:
+        """Added one-way latency at *now* (latency spike windows)."""
+        if self._spike is not None and self._spike.active(now):
+            return self.config.spike_extra
+        return 0.0
+
+    def drop_message(self) -> bool:
+        """Decide (one Bernoulli draw) whether to lose this message."""
+        return (self._loss_rng is not None
+                and self._loss_rng.random() < self.config.loss_prob)

@@ -78,6 +78,10 @@ class Query:
     seq: int = 0
     #: Opaque driver context used to correlate the response.
     context: Any = None
+    #: Resilience attempt tag: 0 = original send, 1..N = retries,
+    #: :data:`repro.faults.HEDGE_ATTEMPT` = hedged duplicate.  Echoed
+    #: back on the response so the policy can attribute wins.
+    attempt: int = 0
 
     @property
     def wire_size(self) -> int:
@@ -97,6 +101,12 @@ class QueryResponse:
     records: Optional[List[Tuple[Any, Dict[str, bytes]]]] = None
     #: Shard-side service time, for diagnostics.
     service_time: float = 0.0
+    #: Echo of the query's resilience attempt tag.
+    attempt: int = 0
+    #: True for the synthetic response a
+    #: :class:`~repro.faults.ResiliencePolicy` delivers when a sub-query
+    #: exhausts its retries; carries an empty payload.
+    failed: bool = False
 
     @property
     def wire_size(self) -> int:

@@ -113,12 +113,13 @@ class Connection:
     """
 
     __slots__ = ("sim", "metrics", "params", "latency", "cid",
-                 "endpoint_a", "endpoint_b")
+                 "endpoint_a", "endpoint_b", "faults")
 
     def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
                  endpoint_a: Optional[Endpoint] = None,
                  endpoint_b: Optional[Endpoint] = None,
-                 latency: Optional[float] = None) -> None:
+                 latency: Optional[float] = None,
+                 faults: Optional[Any] = None) -> None:
         self.sim = sim
         self.metrics = metrics
         self.params = params
@@ -126,6 +127,10 @@ class Connection:
         self.cid = next(_conn_ids)
         self.endpoint_a = endpoint_a
         self.endpoint_b = endpoint_b
+        #: Optional :class:`~repro.faults.FaultSchedule`: links wired to
+        #: a faulty cluster consult it for latency spikes and message
+        #: loss (both directions).  None on healthy links.
+        self.faults = faults
 
     def attach(self, side: str, endpoint: Endpoint) -> None:
         """Attach *endpoint* to side ``"a"`` or ``"b"``."""
@@ -143,13 +148,27 @@ class Connection:
         Pass ``thread=None`` to skip the sender CPU charge (used by the
         workload generator, whose client machines are not modelled).
         """
+        if thread is not None:
+            yield thread.execute(self.params.send_syscall_cost, "syscall")
+        self.transmit(message, size, to_side)
+
+    def transmit(self, message: Any, size: int, to_side: str) -> None:
+        """Put *message* on the wire with no sender CPU charge.
+
+        This is the non-coroutine half of :meth:`send`; the resilience
+        policy's watchdog callbacks use it directly for retries and
+        hedges (timer context, no simulated thread to charge).
+        """
         target = self.endpoint_b if to_side == "b" else self.endpoint_a
         if target is None:
             raise RuntimeError(f"connection {self.cid}: side {to_side} not attached")
-        if thread is not None:
-            yield thread.execute(self.params.send_syscall_cost, "syscall")
         self.metrics.add("net.messages")
         self.metrics.add("net.bytes", size)
         delay = self.latency + self.params.transfer_time(size)
+        if self.faults is not None:
+            if self.faults.drop_message():
+                self.metrics.add("faults.dropped_messages")
+                return
+            delay += self.faults.extra_latency(self.sim.now)
         # Bare-callback entry: no Timeout/closure allocated per message.
         self.sim.call_later(delay, target.deliver, message)

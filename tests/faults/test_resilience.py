@@ -1,0 +1,238 @@
+"""Unit tests for ResilienceConfig / ResiliencePolicy.
+
+The policy is exercised against stub connections and a stub cluster so
+each watchdog path (deadline, retry, hedge, synthesised failure) can be
+asserted in isolation; the integration tests in ``tests/experiments``
+cover the policy wired into real servers.
+"""
+
+import pytest
+
+from repro.faults import HEDGE_ATTEMPT, ResilienceConfig, ResiliencePolicy
+from repro.messages import Query, QueryResponse
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.rng import RngStreams
+
+
+class FakeEndpoint:
+    def __init__(self):
+        self.delivered = []
+
+    def deliver(self, message):
+        self.delivered.append(message)
+
+
+class FakeConn:
+    _ids = iter(range(1, 10_000))
+
+    def __init__(self):
+        self.cid = next(self._ids)
+        self.endpoint_a = FakeEndpoint()
+        self.sent = []
+
+    def transmit(self, message, size, to_side):
+        self.sent.append(message)
+
+    def attach(self, side, endpoint):
+        setattr(self, f"endpoint_{side}", endpoint)
+
+
+class FakeCluster:
+    def __init__(self, replicas_per_shard=2):
+        self.replicas_per_shard = replicas_per_shard
+        self.opened = []
+
+    def connect_shard(self, shard_id, replica=0):
+        conn = FakeConn()
+        self.opened.append((shard_id, replica))
+        return conn
+
+
+class FakeState:
+    def __init__(self):
+        self.session = None
+        self.failed = 0
+
+
+def make_policy(config, replicas=2):
+    sim = Simulator()
+    metrics = Metrics()
+    cluster = FakeCluster(replicas_per_shard=replicas)
+    policy = ResiliencePolicy(sim, metrics, config, RngStreams(42), cluster)
+    return sim, metrics, cluster, policy
+
+
+def make_query(seq=0, context=None):
+    return Query(request_id=1, shard_id=3, op="get", response_size=100,
+                 seq=seq, context=context)
+
+
+def make_response(query, attempt=0, failed=False):
+    return QueryResponse(request_id=query.request_id,
+                         shard_id=query.shard_id,
+                         payload_size=0 if failed else query.response_size,
+                         seq=query.seq, context=query.context,
+                         attempt=attempt, failed=failed)
+
+
+class TestResilienceConfig:
+    def test_default_is_inactive(self):
+        assert not ResilienceConfig().active
+
+    def test_activation(self):
+        assert ResilienceConfig(subquery_deadline=1e-3).active
+        assert ResilienceConfig(hedge_delay=1e-3).active
+        assert ResilienceConfig(hedge_percentile=95.0).active
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(subquery_deadline=-1.0),
+        dict(max_retries=-1),
+        dict(backoff_base=0.0),
+        dict(backoff_base=2e-3, backoff_cap=1e-3),
+        dict(backoff_jitter=1.0),
+        dict(backoff_jitter=-0.1),
+        dict(hedge_delay=-1e-3),
+        dict(hedge_percentile=101.0),
+        dict(hedge_min_samples=0),
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+
+class TestDeadlineRetry:
+    CONFIG = ResilienceConfig(subquery_deadline=1e-3, max_retries=2,
+                              backoff_base=0.2e-3, backoff_cap=0.4e-3,
+                              backoff_jitter=0.0)
+
+    def test_response_before_deadline_wins_quietly(self):
+        sim, metrics, _cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        query = make_query(context=state)
+        policy.arm(state, query, conn)
+        assert policy.on_response(state, make_response(query))
+        sim.run()
+        assert metrics.raw_count("resilience.deadline_misses") == 0
+        assert conn.sent == []
+
+    def test_deadline_miss_retries_on_next_replica(self):
+        sim, metrics, cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        query = make_query(context=state)
+        policy.arm(state, query, conn)
+        sim.run(until=2e-3)
+        assert metrics.raw_count("resilience.retries") == 1
+        assert metrics.raw_count("resilience.failovers") == 1
+        # The resend went out on a replica-1 connection, not the primary.
+        assert conn.sent == []
+        assert cluster.opened == [(query.shard_id, 1)]
+
+    def test_retry_win_counted_and_duplicate_dropped(self):
+        sim, metrics, _cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=2e-3)  # one retry is in flight now
+        retry_response = make_response(query, attempt=1)
+        assert policy.on_response(state, retry_response)
+        assert metrics.raw_count("resilience.retry_wins") == 1
+        # The original response straggles in afterwards: stale.
+        assert not policy.on_response(state, make_response(query))
+        assert metrics.raw_count("resilience.duplicates") == 1
+
+    def test_exhausted_retries_synthesise_failed_response(self):
+        sim, metrics, _cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        query = make_query(context=state)
+        policy.arm(state, query, conn)
+        sim.run()  # nothing ever answers
+        assert metrics.raw_count("resilience.retries") == 2
+        assert metrics.raw_count("resilience.failed_subqueries") == 1
+        assert len(conn.endpoint_a.delivered) == 1
+        synth = conn.endpoint_a.delivered[0]
+        assert synth.failed and synth.payload_size == 0
+        assert synth.seq == query.seq
+        # Absorbing the synthetic response marks the request degraded.
+        assert policy.on_response(state, synth)
+        assert state.failed == 1
+
+    def test_no_failover_keeps_primary(self):
+        config = ResilienceConfig(subquery_deadline=1e-3, max_retries=1,
+                                  backoff_base=0.2e-3, backoff_cap=0.4e-3,
+                                  backoff_jitter=0.0, failover=False)
+        sim, metrics, cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        query = make_query(context=state)
+        policy.arm(state, query, conn)
+        sim.run(until=2e-3)
+        assert len(conn.sent) == 1  # resend went back to the primary
+        assert cluster.opened == []
+        assert metrics.raw_count("resilience.failovers") == 0
+
+
+class TestHedging:
+    def test_fixed_hedge_fires_and_win_is_counted(self):
+        config = ResilienceConfig(hedge_delay=1e-3)
+        sim, metrics, cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=2e-3)
+        assert metrics.raw_count("resilience.hedges") == 1
+        assert cluster.opened == [(query.shard_id, 1)]
+        assert policy.on_response(state,
+                                  make_response(query, attempt=HEDGE_ATTEMPT))
+        assert metrics.raw_count("resilience.hedge_wins") == 1
+        # The loser (original) is stale.
+        assert not policy.on_response(state, make_response(query))
+
+    def test_hedge_suppressed_by_early_response(self):
+        config = ResilienceConfig(hedge_delay=1e-3)
+        sim, metrics, _cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        assert policy.on_response(state, make_response(query))
+        sim.run()
+        assert metrics.raw_count("resilience.hedges") == 0
+
+    def test_adaptive_hedge_warms_up_from_observations(self):
+        config = ResilienceConfig(hedge_percentile=90.0,
+                                  hedge_min_samples=10)
+        sim, _metrics, _cluster, policy = make_policy(config)
+        assert policy._hedge_delay() == 0.0  # cold: no hedging yet
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        for seq in range(10):
+            query = make_query(seq=seq, context=state)
+            policy.arm(state, query, conn)
+            # arm() is a no-op pre-warm-up (no deadline, hedge 0), so
+            # feed the observation window directly.
+            policy._observe(1e-3 * (seq + 1))
+        delay = policy._hedge_delay()
+        assert delay == pytest.approx(1e-3 * 10)  # p90 rank of 1..10 ms
+
+    def test_unarmed_response_passes_through(self):
+        config = ResilienceConfig(hedge_percentile=90.0,
+                                  hedge_min_samples=10)
+        _sim, metrics, _cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())  # no-op: not warmed up
+        assert query.seq not in state.session
+        assert policy.on_response(state, make_response(query))
+        assert metrics.raw_count("resilience.duplicates") == 0

@@ -1,0 +1,143 @@
+"""Unit tests for FaultConfig / FaultSchedule determinism and hooks."""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultSchedule
+from repro.faults.schedule import _WindowTrack
+from repro.sim.rng import RngStreams
+
+
+class TestFaultConfig:
+    def test_default_is_inactive(self):
+        assert not FaultConfig().active
+
+    def test_each_family_activates(self):
+        assert FaultConfig(slow_shards=1).active
+        assert FaultConfig(crash_shards=1).active
+        assert FaultConfig(spike_rate=5.0, spike_extra=1e-3).active
+        assert FaultConfig(loss_prob=0.01).active
+
+    def test_spike_rate_without_extra_is_inactive(self):
+        assert not FaultConfig(spike_rate=5.0).active
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(slow_shards=-1),
+        dict(crash_shards=-1),
+        dict(slow_factor=0.5),
+        dict(slow_shards=1, slow_mean_on=0.0),
+        dict(slow_shards=1, slow_mean_off=-1.0),
+        dict(crash_shards=1, crash_mtbf=0.0),
+        dict(crash_shards=1, crash_mttr=0.0),
+        dict(spike_rate=-1.0),
+        dict(spike_extra=-1.0),
+        dict(spike_rate=1.0, spike_duration=0.0),
+        dict(loss_prob=-0.1),
+        dict(loss_prob=1.0),
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+
+class TestWindowTrack:
+    def test_same_stream_same_timeline(self):
+        times = [i * 0.01 for i in range(500)]
+        a = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.8)
+        b = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.8)
+        assert [a.active(t) for t in times] == [b.active(t) for t in times]
+
+    def test_starts_off_and_alternates(self):
+        track = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.8)
+        assert track.active(0.0) is False
+        # Over a long horizon the track must have been on at some point.
+        assert any(track.active(i * 0.05) for i in range(1, 2000))
+
+    def test_timeline_independent_of_query_times(self):
+        """Interval i is always the i-th draw: sampling coarsely or
+        finely sees the same underlying on/off timeline."""
+        fine = _WindowTrack(RngStreams(3).stream("x"), 0.3, 0.7)
+        coarse = _WindowTrack(RngStreams(3).stream("x"), 0.3, 0.7)
+        fine_states = {round(i * 0.5, 3): None for i in range(40)}
+        for t in [i * 0.001 for i in range(20_000)]:
+            state = fine.active(t)
+            if round(t, 3) in fine_states:
+                fine_states[round(t, 3)] = state
+        for t in sorted(fine_states):
+            assert coarse.active(t) == fine_states[t]
+
+
+class TestFaultSchedule:
+    def _schedule(self, config, seed=42, n_shards=20):
+        return FaultSchedule(config, RngStreams(seed), n_shards)
+
+    def test_target_selection_is_deterministic(self):
+        config = FaultConfig(slow_shards=3, crash_shards=2)
+        a = self._schedule(config)
+        b = self._schedule(config)
+        assert a.slow_ids == b.slow_ids
+        assert a.crash_ids == b.crash_ids
+        assert len(a.slow_ids) == 3
+        assert len(a.crash_ids) == 2
+
+    def test_slow_multiplier_only_on_targets_and_primary(self):
+        config = FaultConfig(slow_shards=2, slow_factor=50.0,
+                             slow_mean_on=10.0, slow_mean_off=0.01)
+        sched = self._schedule(config)
+        # With mean_off tiny and mean_on huge, targets are slow almost
+        # immediately and stay slow.
+        now = 5.0
+        hit = [s for s in range(20)
+               if sched.service_multiplier(s, 0, now) != 1.0]
+        assert hit == sched.slow_ids
+        for shard_id in sched.slow_ids:
+            assert sched.service_multiplier(shard_id, 0, now) == 50.0
+            # Replica 1 stays healthy unless all_replicas is set.
+            assert sched.service_multiplier(shard_id, 1, now) == 1.0
+
+    def test_all_replicas_degrades_every_replica(self):
+        config = FaultConfig(slow_shards=1, slow_factor=50.0,
+                             slow_mean_on=10.0, slow_mean_off=0.01,
+                             all_replicas=True)
+        sched = self._schedule(config)
+        shard_id = sched.slow_ids[0]
+        assert sched.service_multiplier(shard_id, 1, 5.0) == 50.0
+
+    def test_crash_windows(self):
+        config = FaultConfig(crash_shards=1, crash_mtbf=0.01,
+                             crash_mttr=10.0)
+        sched = self._schedule(config)
+        shard_id = sched.crash_ids[0]
+        assert sched.is_down(shard_id, 0, 5.0)
+        assert not sched.is_down(shard_id, 1, 5.0)
+        other = next(s for s in range(20) if s != shard_id)
+        assert not sched.is_down(other, 0, 5.0)
+
+    def test_spike_extra_latency(self):
+        config = FaultConfig(spike_rate=1000.0, spike_extra=2e-3,
+                             spike_duration=10.0)
+        sched = self._schedule(config)
+        assert sched.extra_latency(5.0) == 2e-3
+
+    def test_drop_message_rate(self):
+        config = FaultConfig(loss_prob=0.25)
+        sched = self._schedule(config)
+        drops = sum(sched.drop_message() for _ in range(10_000))
+        assert 0.2 < drops / 10_000 < 0.3
+
+    def test_inactive_families_cost_nothing(self):
+        sched = self._schedule(FaultConfig(slow_shards=1))
+        assert not sched.is_down(0, 0, 1.0)
+        assert sched.extra_latency(1.0) == 0.0
+        assert not sched.drop_message()
+
+    def test_building_schedule_leaves_other_streams_untouched(self):
+        """Named fault streams must not perturb existing consumers."""
+        plain = RngStreams(42).stream("mongodb.shard.0.service")
+        with_faults = RngStreams(42)
+        FaultSchedule(FaultConfig(slow_shards=3, crash_shards=2,
+                                  spike_rate=10.0, spike_extra=1e-3,
+                                  loss_prob=0.1),
+                      with_faults, n_shards=20)
+        after = with_faults.stream("mongodb.shard.0.service")
+        assert [plain.random() for _ in range(100)] == \
+               [after.random() for _ in range(100)]

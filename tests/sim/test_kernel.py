@@ -366,3 +366,95 @@ def test_process_chains_preserve_causality(pairs):
     p = sim.process(proc(delays))
     sim.run()
     assert p.value == pytest.approx(sum(delays))
+
+
+class TestKernelEdgeCases:
+    """Edge semantics pinned down explicitly: zero-width latches,
+    zero-delay call_later ordering, and cancelling a fired Timeout."""
+
+    def test_latch_zero_fires_immediately(self):
+        """latch(0) has nothing to wait for: it is born triggered and a
+        waiter resumes at the current instant without advancing time."""
+        sim = Simulator()
+        latch = sim.latch(0)
+        assert latch.triggered
+        assert latch.remaining == 0
+        resumed = []
+
+        def waiter():
+            yield latch
+            resumed.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert resumed == [0.0]
+        assert sim.now == 0.0
+
+    def test_latch_zero_inside_running_simulation(self):
+        """A zero latch created mid-run fires at that same instant."""
+        sim = Simulator()
+        resumed = []
+
+        def waiter():
+            yield sim.timeout(0.5)
+            yield sim.latch(0)
+            resumed.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert resumed == [0.5]
+
+    def test_call_later_zero_delay_orders_by_scheduling_seq(self):
+        """call_later(0, ...) entries and other same-time events fire in
+        scheduling order: ties in time break by sequence number, and the
+        bare-callback fast path must honour the same total order."""
+        sim = Simulator()
+        fired = []
+        sim.call_later(0.0, fired.append, "first-bare")
+        sim.timeout(0.0).add_callback(lambda _e: fired.append("timeout"))
+        sim.call_later(0.0, fired.append, "second-bare")
+        sim.run()
+        assert fired == ["first-bare", "timeout", "second-bare"]
+
+    def test_call_later_same_nonzero_time_interleaves_with_timeouts(self):
+        """The (time, seq) order also holds at a shared future instant
+        reached through different scheduling APIs."""
+        sim = Simulator()
+        fired = []
+        sim.timeout(0.002).add_callback(lambda _e: fired.append("t1"))
+        sim.call_later(0.002, fired.append, "c1")
+        sim.timeout(0.002).add_callback(lambda _e: fired.append("t2"))
+        sim.call_later(0.001, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "t1", "c1", "t2"]
+
+    def test_cancel_already_fired_timeout_is_noop(self):
+        """cancel() after the timeout fired must not raise, must not
+        un-process the event, and must not disturb later events."""
+        sim = Simulator()
+        fired = []
+        timer = sim.timeout(0.001)
+        timer.add_callback(lambda _e: fired.append(sim.now))
+        sim.timeout(0.002).add_callback(lambda _e: fired.append(sim.now))
+        sim.run(until=0.0015)
+        assert fired == [0.001]
+        assert timer.processed
+        count_before = sim._event_count
+        timer.cancel()
+        timer.cancel()  # idempotent
+        sim.run()
+        assert fired == [0.001, 0.002]
+        assert sim._event_count == count_before + 1
+
+    def test_cancel_before_fire_skips_without_counting(self):
+        """Contrast case: cancelling a pending timeout suppresses both
+        the callback and the event count."""
+        sim = Simulator()
+        fired = []
+        timer = sim.timeout(0.001)
+        timer.add_callback(lambda _e: fired.append(sim.now))
+        timer.cancel()
+        sim.timeout(0.002).add_callback(lambda _e: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.002]
+        assert sim._event_count == 1
