@@ -56,10 +56,11 @@ class FrontendHandler(EventHandler):
         reactor.inflight[state_key] = state
         for query in server.build_queries(message, context=state):
             yield reactor.thread.execute(server.params.fanout_send_cost, "app")
-            conn = reactor.downstream[query.shard_id]
+            conn, replica = server.route_initial(
+                query, reactor.downstream[query.shard_id])
             yield from conn.send(reactor.thread, query, query.wire_size,
                                  to_side="b")
-            server.arm_subquery(state, query, conn)
+            server.arm_subquery(state, query, conn, replica)
 
 
 class BackendHandler(EventHandler):

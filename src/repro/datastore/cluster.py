@@ -18,7 +18,7 @@ from ..sim.params import CostParams
 from ..sim.rng import RngStreams
 from .records import RecordSchema
 from .server import ShardServer
-from .sharding import HashPartitioner
+from .sharding import HashPartitioner, ReplicaSelector, rack_of
 
 __all__ = ["DatastoreCluster"]
 
@@ -31,20 +31,36 @@ class DatastoreCluster:
                  large_shards: bool = False, remote: bool = False,
                  schema: Optional[RecordSchema] = None,
                  name: str = "datastore", replicas_per_shard: int = 1,
+                 racks: int = 1, replica_policy: str = "primary",
                  faults: Optional[Any] = None) -> None:
         if n_shards < 1:
             raise ValueError("cluster needs at least one shard")
         if replicas_per_shard < 1:
             raise ValueError("need at least one replica per shard")
+        if racks < 1:
+            raise ValueError("cluster needs at least one rack")
         self.sim = sim
         self.metrics = metrics
         self.params = params
         self.name = name
         self.remote = remote
         self.replicas_per_shard = replicas_per_shard
+        #: Rack count for correlated-fault topology; replica *r* of
+        #: shard *s* lives in rack :func:`rack_of(s, r, racks)`.
+        self.racks = racks
         #: Optional :class:`~repro.faults.FaultSchedule` threaded into
         #: every shard server and app<->shard connection.
         self.faults = faults
+        #: Shared :class:`~repro.datastore.sharding.ReplicaSelector`
+        #: consulted by every driver's initial sends and by the
+        #: resilience policy's retries/hedges.  The ``random`` policy is
+        #: the only one that draws randomness, from its own named
+        #: stream, so ``primary`` (the default) leaves every existing
+        #: stream's draw sequence untouched.
+        self.replica_selector = ReplicaSelector(
+            replica_policy, replicas_per_shard,
+            rng=(rng_streams.stream(f"{name}.replica_select")
+                 if replica_policy == "random" else None))
         self.partitioner = HashPartitioner(n_shards)
         size_factor = params.large_shard_factor if large_shards else 1.0
         spread_lo, spread_hi = params.shard_speed_spread
@@ -74,7 +90,8 @@ class DatastoreCluster:
                     sim, metrics, params, shard_id,
                     rng_streams.stream(rng_name),
                     speed_factor=rspeed, size_factor=size_factor,
-                    schema=schema, name=rname, replica=r, faults=faults))
+                    schema=schema, name=rname, replica=r,
+                    rack=rack_of(shard_id, r, racks), faults=faults))
             self.replica_sets.append(replicas)
             self.shards.append(replicas[0])
 

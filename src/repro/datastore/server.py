@@ -48,7 +48,7 @@ class ShardServer:
                  shard_id: int, rng: random.Random,
                  speed_factor: float = 1.0, size_factor: float = 1.0,
                  schema: Optional[RecordSchema] = None,
-                 name: str = "", replica: int = 0,
+                 name: str = "", replica: int = 0, rack: int = 0,
                  faults: Optional[Any] = None) -> None:
         self.sim = sim
         self.metrics = metrics
@@ -56,6 +56,8 @@ class ShardServer:
         self.shard_id = shard_id
         #: Replica index within the shard's replica set (0 = primary).
         self.replica = replica
+        #: Rack this server is placed in (correlated-fault topology).
+        self.rack = rack
         #: Optional :class:`~repro.faults.FaultSchedule` consulted per
         #: query for crash windows and slowdown multipliers.
         self.faults = faults
@@ -121,6 +123,9 @@ class ShardServer:
                     self.shard_id, self.replica, self.sim.now)
                 if multiplier != 1.0:
                     self.metrics.add("faults.slowed_queries")
+                    if faults.rack_active(self.shard_id, self.replica,
+                                          self.sim.now):
+                        self.metrics.add("faults.rack_slowed_queries")
             service_time = self.service_model.draw(
                 query.op, query.response_size, multiplier=multiplier)
             yield self.sim.timeout(service_time)
@@ -138,5 +143,6 @@ class ShardServer:
                 records=self._lookup_records(query),
                 service_time=service_time,
                 attempt=query.attempt,
+                replica=self.replica,
             )
             yield from conn.send(None, response, response.wire_size, to_side="a")

@@ -2,17 +2,21 @@
 
 The paper shards the YCSB dataset across 20 datastore nodes and varies
 the fanout factor from 1 to 20 by querying that many shards per
-request.  This module provides the hash partitioner plus the fanout
-shard-selection policy.
+request.  This module provides the hash partitioner, the fanout
+shard-selection policy, the rack-placement rule, and the replica
+selector that routes every send — initial, retry, or hedge — to a
+replica within the target shard's replica set.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import List, Sequence
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["HashPartitioner", "pick_fanout_shards", "failover_replica"]
+__all__ = ["HashPartitioner", "pick_fanout_shards", "failover_replica",
+           "rack_of", "ReplicaSelector", "REPLICA_POLICIES"]
 
 
 class HashPartitioner:
@@ -65,3 +69,127 @@ def failover_replica(attempt: int, replicas_per_shard: int) -> int:
     if replicas_per_shard < 1:
         raise ValueError("need at least one replica per shard")
     return attempt % replicas_per_shard
+
+
+def rack_of(shard_id: int, replica: int, racks: int) -> int:
+    """Rack holding *replica* of *shard_id* under round-robin placement.
+
+    Consecutive replicas of a shard land in consecutive racks, so a
+    shard's replica set spans ``min(replicas, racks)`` racks — the
+    standard anti-affinity rule that lets failover escape a rack-wide
+    fault *unless* more racks are degraded than the set spans.
+    """
+    if racks < 1:
+        raise ValueError("need at least one rack")
+    return (shard_id + replica) % racks
+
+
+#: Initial-send routing policies :class:`ReplicaSelector` understands.
+REPLICA_POLICIES = ("primary", "round_robin", "least_outstanding", "random")
+
+
+class ReplicaSelector:
+    """Routes sends to replicas within each shard's replica set.
+
+    One selector per run, shared by every component that sends
+    sub-queries: the servers' initial sends call :meth:`pick`, and the
+    :class:`~repro.faults.ResiliencePolicy` calls :meth:`alternate` for
+    retry/hedge targets, so concurrent hedges rotate across the replica
+    set instead of stampeding one backup.
+
+    Policies (``policy``):
+
+    - ``primary`` — every initial send goes to replica 0 (the
+      pre-replica-routing behaviour; zero bookkeeping, zero RNG).
+    - ``round_robin`` — a per-shard cursor cycles the replica set.
+    - ``least_outstanding`` — the replica with the fewest in-flight
+      sub-queries wins (ties break toward the lowest index).  In-flight
+      counts increment at pick time and decrement per real response, so
+      a replica that stops answering — crashed, or drowning in a slow
+      rack — accumulates outstanding work and sheds new load.
+    - ``random`` — seeded uniform choice (``rng`` required).
+
+    Determinism: the only randomness is the injected ``rng`` (a named
+    :class:`~repro.sim.rng.RngStreams` stream); cursor and outstanding
+    state advance in simulator event order, which is single-threaded.
+    """
+
+    __slots__ = ("policy", "replicas", "_rng", "_cursor", "_alt_cursor",
+                 "_outstanding", "_track")
+
+    def __init__(self, policy: str = "primary", replicas_per_shard: int = 1,
+                 rng: Optional[random.Random] = None) -> None:
+        if policy not in REPLICA_POLICIES:
+            raise ValueError(f"unknown replica policy {policy!r}; "
+                             f"valid: {', '.join(REPLICA_POLICIES)}")
+        if replicas_per_shard < 1:
+            raise ValueError("need at least one replica per shard")
+        if policy == "random" and rng is None:
+            raise ValueError("random replica policy needs an rng")
+        self.policy = policy
+        self.replicas = replicas_per_shard
+        self._rng = rng
+        self._cursor: Dict[int, int] = defaultdict(int)
+        self._alt_cursor: Dict[int, int] = defaultdict(int)
+        self._track = (policy == "least_outstanding"
+                       and replicas_per_shard > 1)
+        self._outstanding: Dict[int, List[int]] = defaultdict(
+            lambda: [0] * replicas_per_shard)
+
+    def pick(self, shard_id: int) -> int:
+        """Replica for an initial send to *shard_id* (counts it as
+        in-flight under ``least_outstanding``)."""
+        if self.replicas == 1 or self.policy == "primary":
+            return 0
+        if self.policy == "round_robin":
+            cursor = self._cursor[shard_id]
+            self._cursor[shard_id] = cursor + 1
+            return cursor % self.replicas
+        if self.policy == "random":
+            return self._rng.randrange(self.replicas)
+        counts = self._outstanding[shard_id]
+        replica = counts.index(min(counts))
+        counts[replica] += 1
+        return replica
+
+    def alternate(self, shard_id: int, avoid: int) -> int:
+        """Replica for a retry/hedge of a sub-query last sent to
+        *avoid*.
+
+        With one replica there is nowhere else to go.  Otherwise the
+        choice is among the *other* replicas: ``least_outstanding``
+        picks the least-loaded one; every other policy rotates a shared
+        per-shard cursor, so concurrent hedges on the same shard spread
+        across the set instead of piling onto one backup.
+        """
+        if self.replicas == 1:
+            return 0
+        if self._track:
+            counts = self._outstanding[shard_id]
+            replica = min((r for r in range(self.replicas) if r != avoid),
+                          key=lambda r: (counts[r], r))
+            counts[replica] += 1
+            return replica
+        others = [r for r in range(self.replicas) if r != avoid]
+        cursor = self._alt_cursor[shard_id]
+        self._alt_cursor[shard_id] = cursor + 1
+        return others[cursor % len(others)]
+
+    def note_response(self, response) -> None:
+        """Account one shard response arriving at the app server
+        (no-op unless ``least_outstanding`` tracking is on).
+
+        Synthesised failures (``failed=True``) never left a server, so
+        they don't decrement — a replica that swallows queries keeps
+        its in-flight count and sheds future load.
+        """
+        if not self._track or response.failed:
+            return
+        counts = self._outstanding[response.shard_id]
+        replica = response.replica
+        if counts[replica] > 0:
+            counts[replica] -= 1
+
+    def outstanding(self, shard_id: int) -> List[int]:
+        """In-flight counts per replica of *shard_id* (diagnostics)."""
+        return list(self._outstanding[shard_id])

@@ -102,9 +102,10 @@ class AioBackendServer(AppServer):
         state = self.new_request_state(message, channel.context)
         for query in self.build_queries(message, context=state):
             yield thread.execute(self.params.fanout_send_cost, "app")
-            conn = self._downstream[query.shard_id]
+            conn, replica = self.route_initial(
+                query, self._downstream[query.shard_id])
             yield from conn.send(thread, query, query.wire_size, to_side="b")
-            self.arm_subquery(state, query, conn)
+            self.arm_subquery(state, query, conn, replica)
 
     # -- JVM reactor: wrap ready responses into pool tasks ---------------------
 

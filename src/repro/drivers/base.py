@@ -48,7 +48,8 @@ class RequestState:
     """Lifecycle bookkeeping for one in-flight upstream request."""
 
     __slots__ = ("request", "conn", "remaining", "fanout", "total_bytes",
-                 "arrived_at", "first_response_at", "session", "failed")
+                 "arrived_at", "first_response_at", "session", "won",
+                 "failed")
 
     def __init__(self, request: HttpRequest, conn: Connection, now: float) -> None:
         self.request = request
@@ -62,6 +63,10 @@ class RequestState:
         #: :meth:`repro.faults.ResiliencePolicy.attach`; None when no
         #: resilience policy is active.
         self.session = None
+        #: Seqs whose winning response was absorbed (tracker already
+        #: dropped from ``session``); lets late hedge losers still be
+        #: recognised as stale.
+        self.won = None
         #: Sub-queries that exhausted their retries; the request
         #: completed with a degraded (partial) payload.
         self.failed = 0
@@ -103,6 +108,10 @@ class AppServer:
         #: None (the default) keeps every code path identical to the
         #: pre-resilience behaviour.
         self.resilience = resilience
+        #: Lazily opened replica connections for non-primary initial
+        #: routing, keyed by (primary connection id, shard, replica);
+        #: empty for the default ``primary`` policy.
+        self._replica_conns: dict = {}
         self.cpu = Cpu(sim, metrics, params, name="app")
         self._fanout_rng = rng_streams.stream(f"{self.name}.fanout")
         self._request_cpu_rng = rng_streams.stream(f"{self.name}.request_cpu")
@@ -140,17 +149,41 @@ class AppServer:
         return state
 
     def arm_subquery(self, state: RequestState, query: Query,
-                     conn: Connection) -> None:
+                     conn: Connection, replica: int = 0) -> None:
         """Register a just-sent sub-query with the resilience policy
         (deadline + hedge watchdogs).  No-op without a policy."""
         if self.resilience is not None:
-            self.resilience.arm(state, query, conn)
+            self.resilience.arm(state, query, conn, replica)
+
+    def route_initial(self, query: Query,
+                      primary_conn: Connection) -> "tuple[Connection, int]":
+        """Pick the replica for *query*'s initial send.
+
+        Returns ``(conn, replica)``.  Under the default ``primary``
+        policy this is ``(primary_conn, 0)`` with zero overhead; other
+        policies lazily open one connection per (primary conn, shard,
+        replica) that shares the primary connection's receive endpoint,
+        so replica responses surface exactly where primary responses do.
+        """
+        replica = self.cluster.replica_selector.pick(query.shard_id)
+        if replica == 0:
+            return primary_conn, 0
+        key = (primary_conn.cid, query.shard_id, replica)
+        conn = self._replica_conns.get(key)
+        if conn is None:
+            conn = self.cluster.connect_shard(query.shard_id, replica)
+            conn.attach("a", primary_conn.endpoint_a)
+            self._replica_conns[key] = conn
+        return conn, replica
 
     def response_is_fresh(self, state: RequestState, response: Any) -> bool:
         """True when *response* is the winning response for its
         sub-query.  Stale duplicates (hedge losers, post-retry or
         post-failure stragglers) must be dropped before any processing
         CPU is charged."""
+        # Retire the in-flight count the replica selector charged at
+        # send time — for every real response, winner or straggler.
+        self.cluster.replica_selector.note_response(response)
         if self.resilience is None:
             return True
         return self.resilience.on_response(state, response)

@@ -10,7 +10,8 @@ threads hammer it.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..datastore.cluster import DatastoreCluster
 from ..messages import Query, QueryResponse
@@ -40,25 +41,30 @@ class SyncConnectionPool:
         #: Optional shared :class:`~repro.faults.ResiliencePolicy`.
         self.resilience = resilience
         self.mutex = Mutex(sim, cpu, metrics, params, name=name)
-        self._free: List[List[Tuple[Connection, InboxEndpoint]]] = [
-            [] for _ in range(cluster.n_shards)
-        ]
+        #: Free lists keyed by (shard, replica): a connection checked
+        #: out for a replica only ever serves that replica, so the
+        #: receive side stays a simple exclusive inbox.
+        self._free: Dict[Tuple[int, int],
+                         List[Tuple[Connection, InboxEndpoint]]] = (
+            defaultdict(list))
         self.created = 0
 
-    def checkout(self, thread: SimThread, shard_id: int):
-        """Coroutine: obtain an exclusive (connection, inbox) pair.
+    def checkout(self, thread: SimThread, shard_id: int, replica: int = 0):
+        """Coroutine: obtain an exclusive (connection, inbox) pair to
+        one replica of *shard_id* (0 = primary).
 
         Creates a new connection (paying one TCP-setup round trip) when
         the free list is empty — the pool grows to the high-water mark
-        of concurrent queries per shard, like a real driver pool.
+        of concurrent queries per shard replica, like a real driver
+        pool.
         """
         yield from locked_section(
             thread, self.mutex, self.params.mutex_hold_time, "app")
-        free = self._free[shard_id]
+        free = self._free[shard_id, replica]
         if free:
             self.metrics.add(f"pool.{self.name}.reused")
             return free.pop()
-        conn = self.cluster.connect_shard(shard_id)
+        conn = self.cluster.connect_shard(shard_id, replica)
         inbox = InboxEndpoint(self.sim, self.cpu, self.params)
         conn.attach("a", inbox)
         self.created += 1
@@ -68,11 +74,12 @@ class SyncConnectionPool:
         return conn, inbox
 
     def checkin(self, thread: SimThread, shard_id: int,
-                pair: Tuple[Connection, InboxEndpoint]):
-        """Coroutine: return a pair to the free list."""
+                pair: Tuple[Connection, InboxEndpoint],
+                replica: int = 0):
+        """Coroutine: return a pair to its (shard, replica) free list."""
         yield from locked_section(
             thread, self.mutex, self.params.mutex_hold_time, "app")
-        self._free[shard_id].append(pair)
+        self._free[shard_id, replica].append(pair)
 
     def sync_query(self, thread: SimThread, query: Query):
         """Coroutine: the full synchronous RPC — checkout, send, block
@@ -85,17 +92,22 @@ class SyncConnectionPool:
         skips stale messages: hedge losers and post-retry stragglers
         left in the pooled connection's inbox by earlier checkouts.
         """
-        pair = yield from self.checkout(thread, query.shard_id)
+        selector = self.cluster.replica_selector
+        replica = selector.pick(query.shard_id)
+        pair = yield from self.checkout(thread, query.shard_id, replica)
         conn, inbox = pair
         yield thread.execute(self.params.fanout_send_cost, "app")
         yield from conn.send(thread, query, query.wire_size, to_side="b")
         if self.resilience is not None:
-            self.resilience.arm(query.context, query, conn)
+            self.resilience.arm(query.context, query, conn, replica)
         while True:
             response = yield from inbox.recv(thread)
             if not isinstance(response, QueryResponse):
                 raise TypeError(
                     f"unexpected message on sync connection: {response!r}")
+            # Retire the selector's in-flight charge for every real
+            # response, stale or winning.
+            selector.note_response(response)
             if (response.request_id != query.request_id
                     or response.seq != query.seq):
                 # A straggler from a previous checkout of this pooled
@@ -107,5 +119,5 @@ class SyncConnectionPool:
                                                         response)):
                 continue
             break
-        yield from self.checkin(thread, query.shard_id, pair)
+        yield from self.checkin(thread, query.shard_id, pair, replica)
         return response

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..datastore.sharding import REPLICA_POLICIES
 from ..faults import FaultConfig, ResilienceConfig
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "SERVER_KINDS",
@@ -77,6 +78,13 @@ class ExperimentConfig:
     #: Replicas per shard (1 = unreplicated; >1 enables failover and
     #: hedging targets on secondary replicas).
     replicas_per_shard: int = 1
+    #: Initial-send routing across a shard's replica set; one of
+    #: :data:`repro.datastore.sharding.REPLICA_POLICIES`.  The default
+    #: ``primary`` reproduces the pre-replica-routing behaviour exactly.
+    replica_policy: str = "primary"
+    #: Racks the cluster spans (correlated-fault topology; 1 = no
+    #: meaningful rack structure).
+    racks: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -112,6 +120,12 @@ class ExperimentConfig:
             raise ValueError("bad warmup/duration")
         if self.replicas_per_shard < 1:
             raise ValueError("replicas_per_shard must be >= 1")
+        if self.replica_policy not in REPLICA_POLICIES:
+            raise ValueError(
+                f"unknown replica policy {self.replica_policy!r}; "
+                f"valid: {', '.join(REPLICA_POLICIES)}")
+        if self.racks < 1:
+            raise ValueError("racks must be >= 1")
         if not self.label:
             self.label = self.server
 

@@ -29,7 +29,7 @@ from .report import normalize, render_series, render_table
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
            "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-           "fault_tail", "hedging"]
+           "fault_tail", "hedging", "fault_open"]
 
 #: When set (by :func:`run_exhibits`), every exhibit's point batch is
 #: routed through this shared executor instead of a private pool, so
@@ -680,12 +680,96 @@ def hedging(quick: bool = True, seed: int = 42,
                          data)
 
 
+#: The correlated fault the open-workload exhibit injects: one of two
+#: racks flips through short rack-wide brown-out windows (~50% duty,
+#: 150 ms mean) where every replica it hosts serves 100x slower.  Under
+#: the round-robin rack placement a 2-replica shard always spans both
+#: racks, so for every shard exactly one replica stays healthy —
+#: routing policy, not luck, decides whether the driver finds it.
+FAULT_RACK = FaultConfig(
+    rack_slow_racks=1, rack_slow_factor=100.0,
+    rack_slow_mean_on=0.15, rack_slow_mean_off=0.15)
+
+#: Racks / replicas the open-workload fault exhibit builds.
+FAULT_OPEN_RACKS = 2
+
+#: All five architectures face the rack fault.
+FAULT_OPEN_SERVERS = (("DoubleFaceNetty", "doubleface"),
+                      ("NettyBackend", "netty"),
+                      ("AIOBackend", "aio"),
+                      ("Type1Async", "type1"),
+                      ("ThreadBased", "threadbased"))
+
+
+def fault_open(quick: bool = True, seed: int = 42,
+               jobs: Optional[int] = 1) -> ExhibitResult:
+    """Open (RUBBoS-style Poisson) workload under a rack-wide fault.
+
+    Every architecture runs three driver policies under
+    :data:`FAULT_RACK` with two replicas per shard spanning two racks:
+
+    - ``primary`` — primary-only routing, no resilience (the seed
+      repo's behaviour);
+    - ``primary+retry`` — primary-only routing with deadline+retry
+      failover;
+    - ``replica+hedge`` — least-outstanding replica routing plus the
+      adaptive p95 hedge on top of the same retry budget.
+
+    The headline the benchmark suite pins: ``replica+hedge`` beats
+    ``primary`` on p99 by a fixed margin on every architecture, because
+    least-outstanding routing drains load away from the browned-out
+    rack *before* the deadline machinery has to fire.
+    """
+    policies = (
+        ("primary", "primary", None),
+        ("primary+retry", "primary", ResilienceConfig(**_FAULT_RETRY)),
+        ("replica+hedge", "least_outstanding", ResilienceConfig(
+            hedge_percentile=95.0, hedge_min_samples=50, **_FAULT_RETRY)),
+    )
+    points: List[Tuple[Any, ExperimentConfig]] = [
+        ((server_label, policy_label), ExperimentConfig(
+            server=kind, workload="open", users=150, think_time=1.0,
+            fanout=5, response_size=100,
+            warmup=0.5, duration=1.5 if quick else 6.0, seed=seed,
+            faults=FAULT_RACK, resilience=resilience,
+            replicas_per_shard=2, racks=FAULT_OPEN_RACKS,
+            replica_policy=replica_policy, keep_selector_stats=False))
+        for server_label, kind in FAULT_OPEN_SERVERS
+        for policy_label, replica_policy, resilience in policies]
+    data: Dict[str, Dict[str, Dict[str, float]]] = {
+        server_label: {} for server_label, _kind in FAULT_OPEN_SERVERS}
+    for (server_label, policy_label), result in _run_points(points, jobs):
+        summary = _fault_summary(result)
+        summary["rack_slowed"] = result.fault_counters.get(
+            "faults.rack_slowed_queries", 0.0)
+        data[server_label][policy_label] = summary
+    policy_labels = [label for label, _rp, _res in policies]
+    sections = []
+    for server_label, _kind in FAULT_OPEN_SERVERS:
+        rows = [[label,
+                 round(1e3 * data[server_label][label]["p50"], 2),
+                 round(1e3 * data[server_label][label]["p99"], 2),
+                 round(data[server_label][label]["throughput"]),
+                 round(data[server_label][label]["rack_slowed"]),
+                 round(data[server_label][label]["hedges"]),
+                 round(data[server_label][label]["failovers"])]
+                for label in policy_labels]
+        sections.append(render_table(
+            f"Rack fault, open workload ({server_label}): "
+            "2 replicas/shard over 2 racks",
+            ["policy", "p50 [ms]", "p99 [ms]", "tput [req/s]",
+             "slowed", "hedges", "failovers"], rows))
+    return ExhibitResult("fault_open",
+                         "Open-workload tail latency under a rack fault",
+                         "\n\n".join(sections), data)
+
+
 #: Registry used by the CLI and the benchmark suite.
 EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
     "fig04": fig04, "fig05": fig05, "fig07": fig07, "fig09": fig09,
     "fig13": fig13, "fig14": fig14, "fig15": fig15, "fig16": fig16,
     "fig17": fig17, "tab1": tab1, "tab2": tab2, "tab3": tab3,
-    "fault_tail": fault_tail, "hedging": hedging,
+    "fault_tail": fault_tail, "hedging": hedging, "fault_open": fault_open,
 }
 
 
@@ -709,7 +793,7 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
 _EXHIBIT_COST: Dict[str, int] = {
     "fig15": 100, "fig16": 60, "fig17": 60, "fig14": 40, "fig05": 30,
     "fig13": 20, "fig04": 15, "fig09": 10, "fig07": 8,
-    "fault_tail": 6, "hedging": 4,
+    "fault_tail": 6, "hedging": 4, "fault_open": 8,
     "tab1": 5, "tab2": 4, "tab3": 4,
 }
 

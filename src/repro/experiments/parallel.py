@@ -157,8 +157,21 @@ class BatchExecutor:
         self._pool.close()
         self._pool.join()
 
+    def terminate(self) -> None:
+        """Kill the workers without draining the queue (error path)."""
+        self._pool.terminate()
+        self._pool.join()
+
     def __enter__(self) -> "BatchExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # A submitter raised (e.g. a poisoned config blew up inside
+            # a worker): close() would block in join() behind every
+            # still-queued point — and leak the pool if any submitter
+            # thread is wedged on a .get().  Tear the workers down
+            # instead; pending results are moot once the batch failed.
+            self.terminate()
+        else:
+            self.close()

@@ -106,13 +106,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     rng = RngStreams(config.seed)
     faults = None
     if config.faults is not None and config.faults.active:
-        faults = FaultSchedule(config.faults, rng, n_shards=config.n_shards)
+        faults = FaultSchedule(config.faults, rng, n_shards=config.n_shards,
+                               racks=config.racks)
     cluster = DatastoreCluster(
         sim, metrics, params, rng, n_shards=config.n_shards,
         large_shards=config.large_shards,
         remote=(config.datastore == "dynamodb"),
         name=config.datastore,
         replicas_per_shard=config.replicas_per_shard,
+        racks=config.racks,
+        replica_policy=config.replica_policy,
         faults=faults)
     resilience = None
     if config.resilience is not None and config.resilience.active:

@@ -28,6 +28,15 @@ response is absorbed — ``RequestState.remaining`` only ever decrements
 on a win — so the DoubleFaceAD batch scheduler's fewest-remaining-first
 ordering keeps working unmodified semantics under faults.
 
+Failover targets come from the cluster's shared
+:class:`~repro.datastore.sharding.ReplicaSelector`: each retry/hedge
+rotates away from the replica it last tried, so concurrent hedges
+spread over the replica set instead of stampeding replica 1 (the old
+hard-coded behaviour).  On the winning response the tracker is dropped
+from the session map (long-lived requests no longer accumulate dead
+trackers); the per-request ``won`` set keeps late duplicates
+detectable.
+
 Determinism: backoff jitter is the only randomness, drawn from the
 dedicated ``resilience.jitter`` stream in watchdog-firing order, which
 the single-threaded simulator fixes.
@@ -39,7 +48,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List
 
-from ..datastore.sharding import failover_replica
+from ..datastore.sharding import ReplicaSelector
 from ..messages import Query, QueryResponse
 from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
@@ -106,10 +115,10 @@ class _SubTracker:
     """Lifecycle of one armed sub-query (all attempts share it)."""
 
     __slots__ = ("query", "state", "conn", "attempts", "done", "sent_at",
-                 "hedged")
+                 "hedged", "home_replica", "replica")
 
     def __init__(self, query: Query, state: Any, conn: Any,
-                 sent_at: float) -> None:
+                 sent_at: float, replica: int) -> None:
         self.query = query
         self.state = state
         self.conn = conn
@@ -117,6 +126,10 @@ class _SubTracker:
         self.done = False
         self.sent_at = sent_at
         self.hedged = False
+        #: Replica the initial send went to (``conn`` points there).
+        self.home_replica = replica
+        #: Replica of the most recent send — what a retry/hedge avoids.
+        self.replica = replica
 
 
 class ResiliencePolicy:
@@ -135,6 +148,15 @@ class ResiliencePolicy:
         self.config = config
         self.cluster = cluster
         self.replicas = getattr(cluster, "replicas_per_shard", 1)
+        #: Replica selector shared with the drivers' initial sends, so
+        #: hedges/retries see the same in-flight counts the router does.
+        #: Clusters always carry one; the fallback keeps bare test stubs
+        #: working and rotates hedge targets instead of stampeding
+        #: replica 1.
+        selector = getattr(cluster, "replica_selector", None)
+        if selector is None:
+            selector = ReplicaSelector("round_robin", self.replicas)
+        self.selector = selector
         self._rng: random.Random = rng_streams.stream("resilience.jitter")
         self._window: List[float] = []
         self._window_pos = 0
@@ -149,16 +171,20 @@ class ResiliencePolicy:
     # -- wiring -------------------------------------------------------------
 
     def attach(self, state: Any) -> None:
-        """Give *state* a sub-query session map (seq -> tracker)."""
+        """Give *state* a sub-query session map (seq -> tracker) and a
+        won-set remembering which seqs already produced a winner."""
         state.session = {}
+        state.won = set()
 
-    def arm(self, state: Any, query: Query, conn: Any) -> None:
-        """Register *query*, just sent on *conn*, for supervision."""
+    def arm(self, state: Any, query: Query, conn: Any,
+            replica: int = 0) -> None:
+        """Register *query*, just sent on *conn* (to *replica*), for
+        supervision."""
         deadline = self.config.subquery_deadline
         hedge = self._hedge_delay()
         if deadline <= 0 and hedge <= 0:
             return
-        tracker = _SubTracker(query, state, conn, self.sim.now)
+        tracker = _SubTracker(query, state, conn, self.sim.now, replica)
         state.session[query.seq] = tracker
         if deadline > 0:
             self.sim.call_later(deadline, self._deadline_cb, tracker)
@@ -172,20 +198,32 @@ class ResiliencePolicy:
             return True
         tracker = session.get(response.seq)
         if tracker is None:
+            if response.seq in state.won:
+                # Hedge loser / post-retry straggler arriving after its
+                # winner's tracker was dropped from the session map.
+                self.metrics.add("resilience.duplicates")
+                return False
             # Sub-query was never armed (no deadline, hedging not yet
             # warmed up): exactly one response exists.
             return True
-        if tracker.done:
-            self.metrics.add("resilience.duplicates")
-            return False
+        # The win: free the tracker (the session map would otherwise
+        # grow for the life of the request) but remember the seq so
+        # stragglers still read as stale.
         tracker.done = True
-        self._observe(self.sim.now - tracker.sent_at)
+        del session[response.seq]
+        state.won.add(response.seq)
         if response.failed:
+            # Synthesised timeout, not a completion: feeding its
+            # "latency" (deadline x retries) into the adaptive-hedge
+            # window would inflate the percentile and stop hedges from
+            # firing exactly when they are needed most.
             state.failed += 1
-        elif response.attempt == HEDGE_ATTEMPT:
-            self.metrics.add("resilience.hedge_wins")
-        elif response.attempt > 0:
-            self.metrics.add("resilience.retry_wins")
+        else:
+            self._observe(self.sim.now - tracker.sent_at)
+            if response.attempt == HEDGE_ATTEMPT:
+                self.metrics.add("resilience.hedge_wins")
+            elif response.attempt > 0:
+                self.metrics.add("resilience.retry_wins")
         return True
 
     # -- watchdogs (bare call_later callbacks; no simulated thread) --------
@@ -211,10 +249,7 @@ class ResiliencePolicy:
         tracker.attempts += 1
         self.metrics.add("resilience.retries")
         attempt = tracker.attempts - 1
-        replica = (failover_replica(attempt, self.replicas)
-                   if self.config.failover else 0)
-        if replica:
-            self.metrics.add("resilience.failovers")
+        replica = self._next_replica(tracker)
         self._transmit(tracker, replace(tracker.query, attempt=attempt),
                        replica)
         self.sim.call_later(self.config.subquery_deadline,
@@ -225,10 +260,7 @@ class ResiliencePolicy:
             return
         tracker.hedged = True
         self.metrics.add("resilience.hedges")
-        replica = (failover_replica(1, self.replicas)
-                   if self.config.failover else 0)
-        if replica:
-            self.metrics.add("resilience.failovers")
+        replica = self._next_replica(tracker)
         self._transmit(tracker,
                        replace(tracker.query, attempt=HEDGE_ATTEMPT),
                        replica)
@@ -248,10 +280,26 @@ class ResiliencePolicy:
 
     # -- resends ------------------------------------------------------------
 
+    def _next_replica(self, tracker: _SubTracker) -> int:
+        """Pick the replica for a retry/hedge of *tracker*'s sub-query.
+
+        With failover enabled the shared selector rotates away from the
+        *last* replica tried (so concurrent hedges spread over the
+        replica set instead of stampeding one sibling); without it the
+        resend goes back to the same replica.
+        """
+        if not self.config.failover:
+            return tracker.replica
+        replica = self.selector.alternate(tracker.query.shard_id,
+                                          tracker.replica)
+        if replica != tracker.replica:
+            self.metrics.add("resilience.failovers")
+        return replica
+
     def _transmit(self, tracker: _SubTracker, query: Query,
                   replica: int) -> None:
         conn = tracker.conn
-        if replica > 0:
+        if replica != tracker.home_replica:
             key = (conn.cid, query.shard_id, replica)
             rconn = self._replica_conns.get(key)
             if rconn is None:
@@ -259,6 +307,7 @@ class ResiliencePolicy:
                 rconn.attach("a", conn.endpoint_a)
                 self._replica_conns[key] = rconn
             conn = rconn
+        tracker.replica = replica
         conn.transmit(query, query.wire_size, to_side="b")
 
     # -- adaptive hedging ---------------------------------------------------

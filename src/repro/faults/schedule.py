@@ -12,14 +12,16 @@ A :class:`FaultSchedule` is built once per run from the run's
 
 Determinism: every on/off timeline is drawn interval-by-interval from
 its own named stream (``faults.slow.<shard>``, ``faults.crash.<shard>``,
-``faults.spikes``), so interval *i* is always the *i*-th draw from that
-stream — the timeline is a pure function of ``(seed, stream name)`` and
-query times never influence it.  Which shards are targeted comes from
-``faults.targets``.  Message-loss draws come from ``faults.loss`` in
-send order, which the single-threaded simulator makes deterministic.
+``faults.rack.<rack>``, ``faults.spikes``), so interval *i* is always
+the *i*-th draw from that stream — the timeline is a pure function of
+``(seed, stream name)`` and query times never influence it.  Which
+shards are targeted comes from ``faults.targets``; which racks from
+``faults.rack_targets``.  Message-loss draws come from ``faults.loss``
+in send order, which the single-threaded simulator makes deterministic.
 Because named streams are independent, an inactive ``FaultConfig``
 (the default ``faults=None``) leaves every existing stream's draw
-sequence untouched.
+sequence untouched — and enabling one fault family never shifts
+another family's timeline.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..datastore.sharding import rack_of
 from ..sim.rng import RngStreams
 
 __all__ = ["FaultConfig", "FaultSchedule"]
@@ -65,6 +68,20 @@ class FaultConfig:
     #: Mean spike duration.
     spike_duration: float = 0.01
 
+    #: Number of racks subject to correlated rack-wide slowdowns.  A
+    #: rack slowdown window degrades *every* replica placed in the rack
+    #: at once (see :func:`repro.datastore.sharding.rack_of`), modelling
+    #: a saturated ToR switch or a shared power/cooling event — the
+    #: correlated-failure case where naive failover can land on an
+    #: equally slow sibling.
+    rack_slow_racks: int = 0
+    #: Service-time multiplier inside a rack slowdown window.
+    rack_slow_factor: float = 20.0
+    #: Mean rack slowdown-window length (exponentially distributed).
+    rack_slow_mean_on: float = 0.25
+    #: Mean healthy gap between rack slowdown windows.
+    rack_slow_mean_off: float = 0.75
+
     #: Probability that any single app<->shard message is lost.
     loss_prob: float = 0.0
 
@@ -87,6 +104,13 @@ class FaultConfig:
             raise ValueError("spike rate/extra must be >= 0")
         if self.spike_rate > 0 and self.spike_duration <= 0:
             raise ValueError("spike_duration must be positive")
+        if self.rack_slow_racks < 0:
+            raise ValueError("rack_slow_racks must be >= 0")
+        if self.rack_slow_factor < 1.0:
+            raise ValueError("rack_slow_factor must be >= 1")
+        if self.rack_slow_racks and (self.rack_slow_mean_on <= 0
+                                     or self.rack_slow_mean_off <= 0):
+            raise ValueError("rack slowdown window means must be positive")
         if not 0.0 <= self.loss_prob < 1.0:
             raise ValueError("loss_prob must be in [0, 1)")
 
@@ -94,6 +118,7 @@ class FaultConfig:
     def active(self) -> bool:
         """True when at least one fault family is enabled."""
         return bool(self.slow_shards or self.crash_shards
+                    or self.rack_slow_racks
                     or (self.spike_rate > 0 and self.spike_extra > 0)
                     or self.loss_prob > 0)
 
@@ -130,9 +155,12 @@ class FaultSchedule:
     """The realised fault timeline for one run."""
 
     def __init__(self, config: FaultConfig, rng_streams: RngStreams,
-                 n_shards: int) -> None:
+                 n_shards: int, racks: int = 1) -> None:
+        if racks < 1:
+            raise ValueError("need at least one rack")
         self.config = config
         self.n_shards = n_shards
+        self.racks = racks
         pick = rng_streams.stream("faults.targets")
         self.slow_ids: List[int] = sorted(pick.sample(
             range(n_shards), min(config.slow_shards, n_shards)))
@@ -148,6 +176,16 @@ class FaultSchedule:
                 rng_streams.stream(f"faults.crash.{shard_id}"),
                 config.crash_mttr, config.crash_mtbf)
             for shard_id in self.crash_ids}
+        # Rack targets come from their own stream so enabling rack
+        # faults never shifts which shards the slow/crash families hit.
+        rack_pick = rng_streams.stream("faults.rack_targets")
+        self.rack_ids: List[int] = sorted(rack_pick.sample(
+            range(racks), min(config.rack_slow_racks, racks)))
+        self._rack: Dict[int, _WindowTrack] = {
+            rack_id: _WindowTrack(
+                rng_streams.stream(f"faults.rack.{rack_id}"),
+                config.rack_slow_mean_on, config.rack_slow_mean_off)
+            for rack_id in self.rack_ids}
         self._spike: Optional[_WindowTrack] = None
         if config.spike_rate > 0 and config.spike_extra > 0:
             self._spike = _WindowTrack(
@@ -164,13 +202,29 @@ class FaultSchedule:
 
     def service_multiplier(self, shard_id: int, replica: int,
                            now: float) -> float:
-        """Service-time multiplier for a query served at *now*."""
-        if not self._applies(replica):
-            return 1.0
-        track = self._slow.get(shard_id)
-        if track is not None and track.active(now):
-            return self.config.slow_factor
-        return 1.0
+        """Service-time multiplier for a query served at *now*.
+
+        Combines the per-shard slowdown family (gated by the
+        ``all_replicas`` replica filter) with the rack family (which by
+        definition hits every replica placed in the rack); overlapping
+        windows take the worse of the two factors.
+        """
+        multiplier = 1.0
+        if self._applies(replica):
+            track = self._slow.get(shard_id)
+            if track is not None and track.active(now):
+                multiplier = self.config.slow_factor
+        if self._rack and self.rack_active(shard_id, replica, now):
+            multiplier = max(multiplier, self.config.rack_slow_factor)
+        return multiplier
+
+    def rack_active(self, shard_id: int, replica: int, now: float) -> bool:
+        """True while the rack holding (*shard_id*, *replica*) is inside
+        a rack-wide slowdown window."""
+        if not self._rack:
+            return False
+        track = self._rack.get(rack_of(shard_id, replica, self.racks))
+        return track is not None and track.active(now)
 
     def is_down(self, shard_id: int, replica: int, now: float) -> bool:
         """True while the shard replica is crashed (queries are dropped)."""

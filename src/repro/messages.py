@@ -103,6 +103,10 @@ class QueryResponse:
     service_time: float = 0.0
     #: Echo of the query's resilience attempt tag.
     attempt: int = 0
+    #: Replica index of the shard server that produced this response
+    #: (0 = primary); lets the replica selector retire the in-flight
+    #: count it charged at send time.
+    replica: int = 0
     #: True for the synthetic response a
     #: :class:`~repro.faults.ResiliencePolicy` delivers when a sub-query
     #: exhausts its retries; carries an empty payload.

@@ -1,11 +1,15 @@
-"""Unit tests for partitioning and fanout shard selection."""
+"""Unit tests for partitioning, fanout shard selection, rack placement,
+and replica routing."""
 
 import random
+from dataclasses import dataclass
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.datastore.sharding import HashPartitioner, pick_fanout_shards
+from repro.datastore.sharding import (HashPartitioner, REPLICA_POLICIES,
+                                      ReplicaSelector, failover_replica,
+                                      pick_fanout_shards, rack_of)
 
 
 class TestHashPartitioner:
@@ -79,3 +83,111 @@ def test_partitioner_split_is_a_partition(keys, n_shards):
     buckets = p.split(keys)
     flattened = [k for bucket in buckets for k in bucket]
     assert sorted(flattened) == sorted(keys)
+
+
+class TestFailoverReplica:
+    def test_single_replica_always_primary(self):
+        for attempt in range(5):
+            assert failover_replica(attempt, 1) == 0
+
+    def test_rotation_wraps(self):
+        assert [failover_replica(a, 3) for a in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            failover_replica(-1, 2)
+        with pytest.raises(ValueError):
+            failover_replica(0, 0)
+
+
+class TestRackOf:
+    def test_anti_affinity_spans_racks(self):
+        # A 2-replica shard always spans both of 2 racks.
+        for shard in range(20):
+            racks = {rack_of(shard, r, 2) for r in range(2)}
+            assert racks == {0, 1}
+
+    def test_in_range_and_deterministic(self):
+        for shard in range(10):
+            for replica in range(4):
+                rack = rack_of(shard, replica, 3)
+                assert 0 <= rack < 3
+                assert rack == rack_of(shard, replica, 3)
+
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ValueError):
+            rack_of(0, 0, 0)
+
+
+@dataclass
+class _Resp:
+    shard_id: int
+    replica: int
+    failed: bool = False
+
+
+class TestReplicaSelector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSelector("nope", 2)
+        with pytest.raises(ValueError):
+            ReplicaSelector("primary", 0)
+        with pytest.raises(ValueError):
+            ReplicaSelector("random", 2)  # needs an rng
+
+    def test_single_replica_every_policy_is_noop(self):
+        for policy in REPLICA_POLICIES:
+            rng = random.Random(7) if policy == "random" else None
+            selector = ReplicaSelector(policy, 1, rng=rng)
+            assert [selector.pick(3) for _ in range(4)] == [0, 0, 0, 0]
+            assert selector.alternate(3, avoid=0) == 0
+
+    def test_primary_ignores_replicas(self):
+        selector = ReplicaSelector("primary", 3)
+        assert [selector.pick(0) for _ in range(5)] == [0] * 5
+
+    def test_round_robin_cycles_per_shard(self):
+        selector = ReplicaSelector("round_robin", 3)
+        assert [selector.pick(0) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+        # A different shard has its own cursor.
+        assert selector.pick(1) == 0
+
+    def test_random_is_seed_deterministic(self):
+        a = ReplicaSelector("random", 4, rng=random.Random(99))
+        b = ReplicaSelector("random", 4, rng=random.Random(99))
+        assert [a.pick(0) for _ in range(20)] == [b.pick(0) for _ in range(20)]
+
+    def test_least_outstanding_balances_and_tie_breaks_low(self):
+        selector = ReplicaSelector("least_outstanding", 3)
+        # All tied at 0: lowest index wins, then counts force rotation.
+        assert [selector.pick(5) for _ in range(3)] == [0, 1, 2]
+        assert selector.outstanding(5) == [1, 1, 1]
+        # Retire replica 1's query: it is now least-loaded.
+        selector.note_response(_Resp(shard_id=5, replica=1))
+        assert selector.pick(5) == 1
+
+    def test_least_outstanding_ignores_synthesised_failures(self):
+        selector = ReplicaSelector("least_outstanding", 2)
+        assert selector.pick(0) == 0
+        selector.note_response(_Resp(shard_id=0, replica=0, failed=True))
+        # The failure never decremented: replica 0 still looks loaded.
+        assert selector.outstanding(0) == [1, 0]
+        assert selector.pick(0) == 1
+
+    def test_alternate_avoids_and_rotates(self):
+        selector = ReplicaSelector("round_robin", 3)
+        picks = [selector.alternate(2, avoid=0) for _ in range(4)]
+        assert 0 not in picks
+        assert picks == [1, 2, 1, 2]  # shared cursor spreads hedges
+
+    def test_alternate_two_replicas_always_other(self):
+        selector = ReplicaSelector("round_robin", 2)
+        assert selector.alternate(0, avoid=0) == 1
+        assert selector.alternate(0, avoid=1) == 0
+
+    def test_alternate_least_outstanding_prefers_idle(self):
+        selector = ReplicaSelector("least_outstanding", 3)
+        for _ in range(3):
+            selector.pick(0)  # counts now [1, 1, 1]
+        selector.note_response(_Resp(shard_id=0, replica=2))
+        assert selector.alternate(0, avoid=0) == 2

@@ -14,7 +14,7 @@ class TestRegistry:
     def test_all_paper_exhibits_registered(self):
         expected = {"fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
                     "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-                    "fault_tail", "hedging"}
+                    "fault_tail", "hedging", "fault_open"}
         assert set(EXHIBITS) == expected
 
     def test_unknown_exhibit_rejected(self):
@@ -85,3 +85,23 @@ class TestExhibitRun:
     def test_interleaved_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             run_exhibits(["tab2", "nope"], quick=True, jobs=2)
+
+    def test_interleaved_poisoned_exhibit_fails_fast(self, monkeypatch):
+        """An exhibit whose config blows up inside a worker must fail
+        the whole batch with the original error chained — not hang the
+        shared pool in close()/join() behind queued points."""
+        from repro.experiments import figures
+        from repro.experiments.config import ExperimentConfig
+
+        def poisoned(quick=True, seed=42, jobs=1):
+            config = ExperimentConfig(server="doubleface", concurrency=4,
+                                      fanout=3, response_size=100,
+                                      warmup=0.2, duration=0.4, seed=seed,
+                                      params={"no_such_param": 1})
+            figures._run_points([("only", config)], jobs)
+            raise AssertionError("unreachable: the worker raised")
+
+        monkeypatch.setitem(figures.EXHIBITS, "poisoned", poisoned)
+        with pytest.raises(RuntimeError, match="poisoned") as excinfo:
+            run_exhibits(["tab3", "poisoned"], quick=True, seed=42, jobs=2)
+        assert isinstance(excinfo.value.__cause__, TypeError)

@@ -52,6 +52,24 @@ def _fault_grid(seed=11):
             for server in ("doubleface", "netty", "aio")]
 
 
+def _rack_grid(seed=11):
+    """A cheap grid with replica-aware routing engaged on top of
+    correlated rack faults — the full routing/hedging/failover path."""
+    faults = FaultConfig(rack_slow_racks=1, rack_slow_factor=100.0,
+                         rack_slow_mean_on=0.15, rack_slow_mean_off=0.15)
+    resilience = ResilienceConfig(subquery_deadline=5e-3, max_retries=2,
+                                  backoff_base=0.5e-3, backoff_cap=2e-3,
+                                  hedge_percentile=95.0,
+                                  hedge_min_samples=50)
+    return [ExperimentConfig(server=server, concurrency=16, fanout=5,
+                             response_size=100, warmup=0.2, duration=0.5,
+                             seed=seed, faults=faults,
+                             resilience=resilience, replicas_per_shard=2,
+                             racks=2, replica_policy="least_outstanding")
+            for server in ("doubleface", "netty", "aio", "type1",
+                           "threadbased")]
+
+
 class TestFaultDeterminism:
     def test_fault_grid_parallel_equals_serial(self):
         serial = run_experiments(_fault_grid(), jobs=1)
@@ -71,6 +89,26 @@ class TestFaultDeterminism:
         assert serial.text == parallel.text
         assert serial.data == parallel.data
 
+    def test_rack_grid_parallel_equals_serial(self):
+        """Replica-aware routing under rack faults is still a pure
+        function of the seed: the selector's cursors and in-flight
+        counts live inside the worker, never shared across processes."""
+        serial = run_experiments(_rack_grid(), jobs=1)
+        parallel = run_experiments(_rack_grid(), jobs=4)
+        for ours, theirs in zip(serial, parallel):
+            assert dataclasses.asdict(ours) == dataclasses.asdict(theirs)
+
+    def test_rack_grid_engages_routing(self):
+        # Not vacuous: rack windows slowed queries, hedges crossed to
+        # the other rack, and failovers rotated replicas.
+        results = run_experiments(_rack_grid(), jobs=1)
+        for result in results:
+            counters = result.fault_counters
+            assert counters.get("faults.rack_slowed_queries", 0) > 0, \
+                result.config.server
+            assert counters.get("resilience.hedges", 0) > 0, \
+                result.config.server
+
 
 class TestConfigValidation:
     @pytest.mark.parametrize("kwargs", [
@@ -82,6 +120,8 @@ class TestConfigValidation:
         dict(users=0),
         dict(think_time=0.0),
         dict(replicas_per_shard=0),
+        dict(racks=0),
+        dict(replica_policy="sticky"),
     ])
     def test_bad_shapes_rejected(self, kwargs):
         with pytest.raises(ValueError):
@@ -90,3 +130,7 @@ class TestConfigValidation:
     def test_unknown_server_lists_valid_kinds(self):
         with pytest.raises(ValueError, match="valid:.*doubleface"):
             ExperimentConfig(server="tomcat")
+
+    def test_unknown_replica_policy_lists_valid_policies(self):
+        with pytest.raises(ValueError, match="least_outstanding"):
+            ExperimentConfig(server="doubleface", replica_policy="sticky")

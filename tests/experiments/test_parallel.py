@@ -7,12 +7,13 @@ rows are assembled positionally from the result list.
 """
 
 import dataclasses
+import time
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import (_chunksize, resolve_jobs,
-                                        run_experiments)
+from repro.experiments.parallel import (BatchExecutor, _chunksize,
+                                        resolve_jobs, run_experiments)
 
 
 def _tiny_grid(seed=7):
@@ -81,3 +82,44 @@ class TestParallelDeterminism:
         a = run_experiments(_tiny_grid(seed=11)[:1], jobs=1)
         b = run_experiments(_tiny_grid(seed=12)[:1], jobs=1)
         assert a[0].throughput != b[0].throughput
+
+
+def _poisoned_config():
+    """A config that constructs fine but blows up inside the worker:
+    ``params`` overrides are applied via ``CostParams.with_overrides``
+    at run time, so an unknown field name raises there, not here."""
+    return ExperimentConfig(server="doubleface", concurrency=4, fanout=3,
+                            response_size=100, warmup=0.2, duration=0.4,
+                            seed=7, params={"no_such_param": 1})
+
+
+class TestBatchExecutorErrorPaths:
+    def test_poisoned_config_raises_in_worker(self):
+        # Precondition for the tests below: the failure really happens
+        # inside run_experiment, after config validation passed.
+        with pytest.raises(TypeError):
+            run_experiments([_poisoned_config()], jobs=1)
+
+    def test_exit_terminates_pool_after_batch_error(self):
+        """A failed batch must tear the pool down promptly instead of
+        close()-joining behind queued work — the ``--exhibit all``
+        hang fixed in this revision."""
+        good = _tiny_grid()[:1]
+        with pytest.raises(TypeError):
+            with BatchExecutor(jobs=2) as executor:
+                # Queue extra work so a graceful close() would have to
+                # drain it; terminate() must not wait for these.
+                for _ in range(16):
+                    executor._pool.apply_async(time.sleep, (0.2,))
+                executor.run(good + [_poisoned_config()] + good)
+        # The pool is gone: further submissions fail immediately
+        # rather than hanging.
+        with pytest.raises(ValueError):
+            executor._pool.apply_async(int)
+
+    def test_clean_exit_still_closes_gracefully(self):
+        with BatchExecutor(jobs=2) as executor:
+            (result,) = executor.run(_tiny_grid()[:1])
+            assert result.completed > 0
+        with pytest.raises(ValueError):
+            executor._pool.apply_async(int)

@@ -236,3 +236,87 @@ class TestHedging:
         assert query.seq not in state.session
         assert policy.on_response(state, make_response(query))
         assert metrics.raw_count("resilience.duplicates") == 0
+
+    def test_failed_responses_do_not_pollute_hedge_window(self):
+        """Regression: synthesised-failure 'latencies' (deadline x
+        retries, an order of magnitude above real completions) must not
+        enter the adaptive-hedge window.  Pre-fix, a burst of failures
+        dragged the p95 up to the deadline and stopped hedges from
+        firing exactly when they were needed most."""
+        config = ResilienceConfig(subquery_deadline=5e-3, max_retries=0,
+                                  hedge_percentile=95.0,
+                                  hedge_min_samples=50)
+        sim, _metrics, _cluster, policy = make_policy(config)
+        for _ in range(50):
+            policy._observe(1e-3)  # healthy completions: 1 ms
+        assert policy._hedge_delay() == pytest.approx(1e-3)
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        # A crash window: more sub-queries than the REFRESH period all
+        # time out and synthesise failures.
+        n = 2 * policy.REFRESH
+        for seq in range(n):
+            policy.arm(state, make_query(seq=seq, context=state), conn)
+        sim.run()  # every deadline expires, no retries left
+        assert len(conn.endpoint_a.delivered) == n
+        for synth in conn.endpoint_a.delivered:
+            assert synth.failed
+            assert policy.on_response(state, synth)
+        assert state.failed == n
+        # The window still reflects only the healthy completions.
+        assert policy._hedge_delay() == pytest.approx(1e-3)
+
+    def test_concurrent_hedges_rotate_replicas(self):
+        """Two sub-queries hedging at the same time must go to
+        *different* replicas (the old hard-coded failover_replica(1, .)
+        stampeded every concurrent hedge onto replica 1)."""
+        config = ResilienceConfig(hedge_delay=1e-3)
+        sim, metrics, cluster, policy = make_policy(config, replicas=3)
+        state = FakeState()
+        policy.attach(state)
+        policy.arm(state, make_query(seq=0, context=state), FakeConn())
+        policy.arm(state, make_query(seq=1, context=state), FakeConn())
+        sim.run(until=2e-3)
+        assert metrics.raw_count("resilience.hedges") == 2
+        assert cluster.opened == [(3, 1), (3, 2)]
+
+
+class TestSessionCleanup:
+    CONFIG = ResilienceConfig(subquery_deadline=1e-3, max_retries=1,
+                              backoff_base=0.2e-3, backoff_cap=0.4e-3,
+                              backoff_jitter=0.0)
+
+    def test_win_frees_tracker_and_remembers_seq(self):
+        """The winning response must delete its session entry (the map
+        otherwise grows for the life of the request) while keeping the
+        seq recognisable as already-won."""
+        _sim, metrics, _cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        assert query.seq in state.session
+        assert policy.on_response(state, make_response(query))
+        assert state.session == {}
+        assert query.seq in state.won
+        # A hedge loser straggling in after the cleanup is still stale.
+        assert not policy.on_response(state, make_response(query))
+        assert metrics.raw_count("resilience.duplicates") == 1
+
+    def test_seq_reuse_after_win_arms_fresh_tracker(self):
+        """Once a sub-query's win is absorbed and its entry freed, the
+        same seq can be armed again (a fresh request attaches a fresh
+        state, so clearing the won-set stands in for re-attach here)."""
+        sim, metrics, _cluster, policy = make_policy(self.CONFIG)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        assert policy.on_response(state, make_response(query))
+        state.won.clear()
+        policy.arm(state, query, FakeConn())
+        assert query.seq in state.session
+        assert policy.on_response(state, make_response(query))
+        sim.run()
+        assert metrics.raw_count("resilience.deadline_misses") == 0

@@ -16,6 +16,7 @@ class TestFaultConfig:
         assert FaultConfig(crash_shards=1).active
         assert FaultConfig(spike_rate=5.0, spike_extra=1e-3).active
         assert FaultConfig(loss_prob=0.01).active
+        assert FaultConfig(rack_slow_racks=1).active
 
     def test_spike_rate_without_extra_is_inactive(self):
         assert not FaultConfig(spike_rate=5.0).active
@@ -33,6 +34,10 @@ class TestFaultConfig:
         dict(spike_rate=1.0, spike_duration=0.0),
         dict(loss_prob=-0.1),
         dict(loss_prob=1.0),
+        dict(rack_slow_racks=-1),
+        dict(rack_slow_factor=0.5),
+        dict(rack_slow_racks=1, rack_slow_mean_on=0.0),
+        dict(rack_slow_racks=1, rack_slow_mean_off=-1.0),
     ])
     def test_validation_rejects(self, kwargs):
         with pytest.raises(ValueError):
@@ -136,8 +141,86 @@ class TestFaultSchedule:
         with_faults = RngStreams(42)
         FaultSchedule(FaultConfig(slow_shards=3, crash_shards=2,
                                   spike_rate=10.0, spike_extra=1e-3,
-                                  loss_prob=0.1),
-                      with_faults, n_shards=20)
+                                  loss_prob=0.1, rack_slow_racks=1),
+                      with_faults, n_shards=20, racks=2)
         after = with_faults.stream("mongodb.shard.0.service")
         assert [plain.random() for _ in range(100)] == \
                [after.random() for _ in range(100)]
+
+
+class TestRackFaults:
+    #: Rack windows on ~forever: targets are degraded from t~0 onwards.
+    ALWAYS_ON = FaultConfig(rack_slow_racks=1, rack_slow_factor=30.0,
+                            rack_slow_mean_on=100.0,
+                            rack_slow_mean_off=0.001)
+
+    def _schedule(self, config, racks=2, seed=42, n_shards=20):
+        return FaultSchedule(config, RngStreams(seed), n_shards,
+                             racks=racks)
+
+    def test_rack_target_selection_is_deterministic(self):
+        a = self._schedule(self.ALWAYS_ON)
+        b = self._schedule(self.ALWAYS_ON)
+        assert a.rack_ids == b.rack_ids
+        assert len(a.rack_ids) == 1
+        assert a.rack_ids[0] in (0, 1)
+
+    def test_rack_fault_hits_every_replica_in_the_rack(self):
+        """The defining property of the correlated family: replica
+        filtering (``all_replicas=False``) does NOT protect replicas
+        placed in a degraded rack."""
+        sched = self._schedule(self.ALWAYS_ON)
+        rack = sched.rack_ids[0]
+        now = 5.0
+        for shard in range(20):
+            for replica in range(2):
+                in_rack = (shard + replica) % 2 == rack
+                assert sched.rack_active(shard, replica, now) == in_rack
+                multiplier = sched.service_multiplier(shard, replica, now)
+                assert multiplier == (30.0 if in_rack else 1.0)
+
+    def test_one_replica_per_shard_survives(self):
+        """Round-robin placement + one bad rack of two: every shard
+        keeps exactly one healthy replica, so routing can always
+        escape."""
+        sched = self._schedule(self.ALWAYS_ON)
+        now = 5.0
+        for shard in range(20):
+            healthy = [r for r in range(2)
+                       if sched.service_multiplier(shard, r, now) == 1.0]
+            assert len(healthy) == 1
+
+    def test_rack_and_shard_slowdowns_take_the_worse_factor(self):
+        config = FaultConfig(
+            slow_shards=20, slow_factor=50.0,
+            slow_mean_on=100.0, slow_mean_off=0.001,
+            rack_slow_racks=2, rack_slow_factor=30.0,
+            rack_slow_mean_on=100.0, rack_slow_mean_off=0.001)
+        sched = self._schedule(config)
+        # Every shard slowed 50x, every rack slowed 30x: primaries see
+        # max(50, 30), secondaries (shard family filtered) see 30.
+        assert sched.service_multiplier(0, 0, 5.0) == 50.0
+        assert sched.service_multiplier(0, 1, 5.0) == 30.0
+
+    def test_zero_racks_configured_is_inert(self):
+        sched = self._schedule(FaultConfig(slow_shards=1), racks=4)
+        assert not sched.rack_active(0, 0, 5.0)
+
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ValueError):
+            self._schedule(self.ALWAYS_ON, racks=0)
+
+    def test_rack_streams_leave_shard_families_untouched(self):
+        """Enabling the rack family must not shift which shards the
+        slow family targets or their window timelines."""
+        base = FaultConfig(slow_shards=3, slow_mean_on=0.2,
+                           slow_mean_off=0.3)
+        with_racks = FaultConfig(slow_shards=3, slow_mean_on=0.2,
+                                 slow_mean_off=0.3, rack_slow_racks=1)
+        a = FaultSchedule(base, RngStreams(7), 20)
+        b = FaultSchedule(with_racks, RngStreams(7), 20, racks=2)
+        assert a.slow_ids == b.slow_ids
+        times = [i * 0.01 for i in range(300)]
+        for shard in a.slow_ids:
+            assert [a._slow[shard].active(t) for t in times] == \
+                   [b._slow[shard].active(t) for t in times]
