@@ -201,11 +201,18 @@ def check_regression(metrics: dict, trajectory: dict,
     times their baseline (0 = pass).  Metrics the baseline entry does
     not carry are skipped.
     """
-    entries = trajectory.get("entries", [])
-    if not entries:
-        print("check: no baseline entries in BENCH_core.json; skipping")
+    # The trajectory file is shared with other benchmarks (e.g.
+    # bench_transport): baseline = the newest entry that actually
+    # carries kernel events/sec metrics, not just entries[-1].
+    baseline = None
+    for entry in reversed(trajectory.get("entries", [])):
+        if any(k.endswith("_events_per_sec") for k in entry["metrics"]):
+            baseline = entry
+            break
+    if baseline is None:
+        print("check: no kernel baseline entries in BENCH_core.json; "
+              "skipping")
         return 0
-    baseline = entries[-1]
     failures = 0
     for key, value in metrics.items():
         if not key.endswith("_events_per_sec"):

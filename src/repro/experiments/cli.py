@@ -36,6 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment grid (default 1 = "
              "serial; 0 = one per CPU).  Results are identical for any "
              "N — points fan out but merge in declared order.")
+    parser.add_argument(
+        "--transport", choices=["shm", "pickle"], default=None,
+        help="worker→parent result transport with --jobs > 1: 'shm' "
+             "moves results as packed float columns through a "
+             "shared-memory ring (default where available), 'pickle' "
+             "is the classic per-result pickle over the pool pipe.  "
+             "Results are byte-identical either way; irrelevant with "
+             "--jobs 1.")
     return parser
 
 
@@ -55,7 +63,7 @@ def main(argv=None) -> int:
         # pool: slow tail-window points overlap with cheap tables.
         started = time.time()
         results = run_exhibits(names, quick=not args.full, seed=args.seed,
-                               jobs=args.jobs)
+                               jobs=args.jobs, transport=args.transport)
         elapsed = time.time() - started
         for name in names:
             print(results[name].text)
@@ -66,7 +74,7 @@ def main(argv=None) -> int:
     for name in names:
         started = time.time()
         result = run_exhibit(name, quick=not args.full, seed=args.seed,
-                             jobs=args.jobs)
+                             jobs=args.jobs, transport=args.transport)
         elapsed = time.time() - started
         print(result.text)
         print(f"[{name} regenerated in {elapsed:.1f}s wall time]")

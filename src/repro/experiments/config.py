@@ -9,8 +9,9 @@ paper's tables and figures report.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..datastore.sharding import REPLICA_POLICIES
 from ..faults import FaultConfig, ResilienceConfig
@@ -69,6 +70,13 @@ class ExperimentConfig:
     #: of the exact sample store (bounded memory for long windows; the
     #: reported percentiles become estimates).  Exact is the default.
     latency_sketch: bool = False
+    #: Ship the raw windowed ``client.rt`` samples in the result as
+    #: flat (time, value) float columns (``latency_times`` /
+    #: ``latency_values``).  Off by default — the columns can run to
+    #: hundreds of thousands of samples on full tail windows — and a
+    #: no-op in sketch mode, which stores no samples.  Only affects
+    #: what the result carries, never the simulation itself.
+    keep_latency_samples: bool = False
     #: Deterministic fault injection (None = fault-free; the default
     #: keeps every pre-existing run byte-identical).
     faults: Optional[FaultConfig] = None
@@ -130,9 +138,21 @@ class ExperimentConfig:
             self.label = self.server
 
 
+def _empty_column() -> array:
+    return array("d")
+
+
 @dataclass
 class ExperimentResult:
-    """Everything one run measured (paper-table vocabulary)."""
+    """Everything one run measured (paper-table vocabulary).
+
+    Bulk measurements (thread samples, optional raw latency samples)
+    are stored as flat ``array('d')`` columns so the parallel runner's
+    shared-memory transport can move them as packed float buffers; the
+    ``thread_samples`` / ``latency_samples`` properties materialise the
+    classic list-of-(time, value)-tuples view on demand, so exhibit and
+    report code consumes results unchanged.
+    """
 
     config: ExperimentConfig
     #: Completed requests per second (client-side).
@@ -158,16 +178,32 @@ class ExperimentResult:
     select_cpu_share: float
     #: On-demand pool spawns in the window (AIO only).
     pool_spawns: float
-    #: Runnable-thread samples [(t, n)] when sampling was enabled.
-    thread_samples: List
     #: Completed requests in the window.
     completed: float
     #: Window length [s].
     window: float
+    #: Runnable-thread sample columns (time, count) when sampling was
+    #: enabled; empty otherwise.
+    thread_times: array = field(default_factory=_empty_column)
+    thread_values: array = field(default_factory=_empty_column)
+    #: Raw windowed ``client.rt`` sample columns (completion time,
+    #: latency) when ``keep_latency_samples`` was set; empty otherwise.
+    latency_times: array = field(default_factory=_empty_column)
+    latency_values: array = field(default_factory=_empty_column)
     #: Fault/resilience counters over the window (``resilience.*``,
     #: ``faults.*``, ``server.completed.degraded``); empty when no
     #: faults or resilience policy were configured.
     fault_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def thread_samples(self) -> List[Tuple[float, float]]:
+        """Row view of the thread-sample columns: [(t, n), ...]."""
+        return list(zip(self.thread_times, self.thread_values))
+
+    @property
+    def latency_samples(self) -> List[Tuple[float, float]]:
+        """Row view of the latency-sample columns: [(t, rt), ...]."""
+        return list(zip(self.latency_times, self.latency_values))
 
     def percentile(self, q: float) -> float:
         return self.percentiles[q]

@@ -38,6 +38,13 @@ __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
 #: they join, never mutated while they run.
 _BATCH_RUNNER: Optional[Callable[[List[ExperimentConfig]], List[Any]]] = None
 
+#: Worker→parent result transport for standalone exhibit runs, set by
+#: :func:`run_exhibit` around the exhibit call (same discipline as
+#: ``_BATCH_RUNNER``: set, run, restore).  ``None`` = auto (shm where
+#: available).  Interleaved runs carry the transport inside their
+#: shared ``BatchExecutor`` instead.
+_TRANSPORT: Optional[str] = None
+
 
 @dataclass
 class ExhibitResult:
@@ -60,7 +67,7 @@ def _run_points(points: List[Tuple[Any, ExperimentConfig]],
         results = runner([config for _key, config in points])
     else:
         results = run_experiments([config for _key, config in points],
-                                  jobs=jobs)
+                                  jobs=jobs, transport=_TRANSPORT)
     return [(key, result) for (key, _config), result in zip(points, results)]
 
 
@@ -774,17 +781,26 @@ EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
 
 
 def run_exhibit(name: str, quick: bool = True, seed: int = 42,
-                jobs: Optional[int] = 1) -> ExhibitResult:
+                jobs: Optional[int] = 1,
+                transport: Optional[str] = None) -> ExhibitResult:
     """Run one exhibit by name (``fig04`` ... ``tab3``).
 
     ``jobs`` is forwarded to the parallel runner: 1 = serial (default),
     N = fan the exhibit's experiment points over N worker processes,
-    0/None = one worker per CPU.  Results are identical for any value.
+    0/None = one worker per CPU.  ``transport`` picks the worker→parent
+    result path (``"shm"`` / ``"pickle"`` / ``None`` = auto).  Results
+    are identical for any combination.
     """
+    global _TRANSPORT
     if name not in EXHIBITS:
         raise KeyError(f"unknown exhibit {name!r}; choose from "
                        f"{sorted(EXHIBITS)}")
-    return EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
+    previous = _TRANSPORT
+    _TRANSPORT = transport
+    try:
+        return EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
+    finally:
+        _TRANSPORT = previous
 
 
 #: Rough relative wall-clock cost of each exhibit (quick mode).  Used
@@ -799,17 +815,20 @@ _EXHIBIT_COST: Dict[str, int] = {
 
 
 def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
-                 jobs: Optional[int] = 1) -> Dict[str, ExhibitResult]:
+                 jobs: Optional[int] = 1,
+                 transport: Optional[str] = None) -> Dict[str, ExhibitResult]:
     """Run several exhibits, interleaving their points over one pool.
 
     With ``jobs > 1`` (or 0/None = per-CPU) every exhibit runs on its
     own submitter thread and all their (exhibit, key, config) points
-    feed a single shared :class:`BatchExecutor`, so the 15 s tail-window
-    points of fig15-17 overlap with the cheap table grids instead of
-    each exhibit draining the pool in turn.  ``jobs=1`` falls back to
-    running the exhibits serially in-process.  Either way each exhibit's
-    result is identical to a standalone :func:`run_exhibit` call with
-    the same ``quick``/``seed``.
+    feed a single shared :class:`BatchExecutor` — which also owns the
+    result transport (``transport``: shm / pickle / None = auto), so
+    every exhibit's columns flow through one shared ring.  The 15 s
+    tail-window points of fig15-17 overlap with the cheap table grids
+    instead of each exhibit draining the pool in turn.  ``jobs=1``
+    falls back to running the exhibits serially in-process.  Either
+    way each exhibit's result is identical to a standalone
+    :func:`run_exhibit` call with the same ``quick``/``seed``.
     """
     global _BATCH_RUNNER
     names = list(names)
@@ -818,7 +837,8 @@ def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
             raise ValueError(f"unknown exhibit {name!r}; choose from "
                              f"{sorted(EXHIBITS)}")
     if resolve_jobs(jobs) <= 1 or len(names) <= 1:
-        return {name: run_exhibit(name, quick=quick, seed=seed, jobs=jobs)
+        return {name: run_exhibit(name, quick=quick, seed=seed, jobs=jobs,
+                                  transport=transport)
                 for name in names}
     results: Dict[str, ExhibitResult] = {}
     errors: Dict[str, BaseException] = {}
@@ -830,7 +850,7 @@ def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
             errors[name] = exc
 
     heavy_first = sorted(names, key=lambda n: -_EXHIBIT_COST.get(n, 1))
-    with BatchExecutor(jobs) as executor:
+    with BatchExecutor(jobs, transport=transport) as executor:
         _BATCH_RUNNER = executor.run
         try:
             threads = [threading.Thread(target=submit, args=(name,),

@@ -11,6 +11,7 @@ example, and test that wants a complete simulated run.  The flow:
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
 from ..core.doubleface import DoubleFaceServer
@@ -167,10 +168,13 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         # The exhibit only reads the aggregates: don't ship the raw
         # dicts back through the worker-pool pickle.
         selector_stats = []
-    samples = []
+    thread_times, thread_values = array("d"), array("d")
     if "cpu.runnable" in metrics.series:
-        samples = metrics.series["cpu.runnable"].window(
+        thread_times, thread_values = metrics.series["cpu.runnable"].columns(
             metrics.window_start, now)
+    latency_times, latency_values = array("d"), array("d")
+    if config.keep_latency_samples:
+        latency_times, latency_values = rt.window_columns()
 
     fault_counters = {
         name: metrics.count(name)
@@ -197,8 +201,11 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         pool_spawns=sum(v for k, v in
                         ((k, metrics.count(k)) for k in list(metrics.counters))
                         if k.startswith("pool.") and k.endswith(".spawned")),
-        thread_samples=samples,
         completed=metrics.count("client.completed"),
         window=window,
+        thread_times=thread_times,
+        thread_values=thread_values,
+        latency_times=latency_times,
+        latency_values=latency_values,
         fault_counters=fault_counters,
     )

@@ -1,0 +1,335 @@
+"""Columnar result transport for the parallel experiment runner.
+
+``Pool.map`` used to move every :class:`ExperimentResult` across the
+worker→parent boundary as one pickled object graph.  For bulky results
+(tail exhibits with thousands of latency/thread samples) that pays the
+full serialize → pipe-copy → deserialize cost twice per point, and the
+parent's merge loop — which is serial — pays most of it.  This module
+splits a result into:
+
+- a **header**: a small dict holding the config, the column layout
+  (key lists, section lengths), and the few irregular fields
+  (``selector_stats``); still pickled, but tiny and O(1) in the sample
+  count; and
+- packed **float columns**: one flat ``float64`` buffer concatenating
+  the scalar row, the percentile tables (overall and per-class), the
+  CPU-share row, the fault counters, and the (time, value) sample
+  columns that :mod:`repro.sim.metrics` already collects columnar.
+
+Workers write the columns straight into a :class:`ShmRing` — a
+``multiprocessing.shared_memory`` segment shared by the whole pool —
+and return only the header plus a ``(offset, nbytes)`` ticket through
+the result pipe.  The parent rebuilds the result from the mapped
+buffer: no serialization and no pipe copy for the bulk data, just the
+worker's single memcpy in and the parent's single memcpy out.
+
+Fallbacks keep every path correct:
+
+- ring full (slow parent, tiny ring) → the worker returns the column
+  bytes inline through the pipe instead (still columnar, still one
+  buffer);
+- ``multiprocessing.shared_memory`` unavailable → the runner drops to
+  the classic whole-result pickle transport;
+- ``jobs=1`` → no transport at all: results never leave the process.
+
+``decode_result(encode_result(r)...)`` is an exact identity — every
+float crosses as its 8-byte representation and every dict preserves
+insertion order — so shm, pickle, and serial runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .config import ExperimentResult
+
+__all__ = ["encode_result", "decode_result", "ShmRing", "RingSpec",
+           "shm_available"]
+
+#: Scalar result fields packed, in this order, at the head of the
+#: column buffer.
+SCALAR_FIELDS = ("throughput", "mean_rt", "cpu_utilization",
+                 "ctx_switches_per_sec", "avg_running_threads",
+                 "selects_per_sec", "select_cpu_share", "pool_spawns",
+                 "completed", "window")
+
+_ITEMSIZE = array("d").itemsize  # 8: one float64 per column cell
+
+
+# ---------------------------------------------------------------------------
+# Encode / decode
+# ---------------------------------------------------------------------------
+
+def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
+    """Flatten *result* into ``(header, columns)``.
+
+    The header is a small picklable dict (config, key lists, section
+    lengths, selector stats); ``columns`` is one flat ``array('d')``
+    ready to be memcpy'd into shared memory or shipped as bytes.
+    """
+    columns = array("d", (getattr(result, name) for name in SCALAR_FIELDS))
+    qs = tuple(result.percentiles)
+    columns.extend(result.percentiles.values())
+    classes = []
+    for klass, table in result.class_percentiles.items():
+        classes.append((klass, tuple(table)))
+        columns.extend(table.values())
+    share_cats = tuple(result.cpu_shares)
+    columns.extend(result.cpu_shares.values())
+    fault_names = tuple(result.fault_counters)
+    columns.extend(result.fault_counters.values())
+    n_thread = len(result.thread_times)
+    columns.extend(result.thread_times)
+    columns.extend(result.thread_values)
+    n_latency = len(result.latency_times)
+    columns.extend(result.latency_times)
+    columns.extend(result.latency_values)
+    header = {
+        "config": result.config,
+        "qs": qs,
+        "classes": classes,
+        "share_cats": share_cats,
+        "fault_names": fault_names,
+        "n_thread": n_thread,
+        "n_latency": n_latency,
+        "selector_stats": result.selector_stats,
+        "n_columns": len(columns),
+    }
+    return header, columns
+
+
+def _take(view: memoryview, lo: int, n: int) -> array:
+    """Copy *n* float64 cells starting at *lo* out of *view* into a
+    fresh column (one memcpy)."""
+    column = array("d")
+    column.frombytes(view[lo * _ITEMSIZE:(lo + n) * _ITEMSIZE])
+    return column
+
+
+def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
+    """Rebuild the exact :class:`ExperimentResult` from a header and
+    the raw column bytes (any buffer-protocol object: a shared-memory
+    slice, ``bytes`` from the inline fallback, or the ``array`` itself).
+    """
+    view = memoryview(buffer).cast("B")
+    n_columns = header["n_columns"]
+    if len(view) < n_columns * _ITEMSIZE:
+        raise ValueError(
+            f"column buffer too short: need {n_columns * _ITEMSIZE} bytes, "
+            f"got {len(view)}")
+    cells = view[:n_columns * _ITEMSIZE].cast("d")
+    pos = len(SCALAR_FIELDS)
+    scalars = dict(zip(SCALAR_FIELDS, cells[:pos]))
+    qs = header["qs"]
+    percentiles = dict(zip(qs, cells[pos:pos + len(qs)]))
+    pos += len(qs)
+    class_percentiles: Dict[str, Dict[float, float]] = {}
+    for klass, class_qs in header["classes"]:
+        class_percentiles[klass] = dict(
+            zip(class_qs, cells[pos:pos + len(class_qs)]))
+        pos += len(class_qs)
+    share_cats = header["share_cats"]
+    cpu_shares = dict(zip(share_cats, cells[pos:pos + len(share_cats)]))
+    pos += len(share_cats)
+    fault_names = header["fault_names"]
+    fault_counters = dict(zip(fault_names, cells[pos:pos + len(fault_names)]))
+    pos += len(fault_names)
+    n_thread = header["n_thread"]
+    thread_times = _take(view, pos, n_thread)
+    thread_values = _take(view, pos + n_thread, n_thread)
+    pos += 2 * n_thread
+    n_latency = header["n_latency"]
+    latency_times = _take(view, pos, n_latency)
+    latency_values = _take(view, pos + n_latency, n_latency)
+    return ExperimentResult(
+        config=header["config"],
+        percentiles=percentiles,
+        class_percentiles=class_percentiles,
+        cpu_shares=cpu_shares,
+        selector_stats=header["selector_stats"],
+        thread_times=thread_times,
+        thread_values=thread_values,
+        latency_times=latency_times,
+        latency_values=latency_values,
+        fault_counters=fault_counters,
+        **scalars,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory ring
+# ---------------------------------------------------------------------------
+
+_AVAILABLE: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here
+    (importable *and* a segment can be created — some sandboxes mount
+    no /dev/shm).  Probed once, then cached."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Everything a worker needs to attach to a parent's ring.  Passed
+    through ``Pool(initializer=...)``, so the lock and cursors travel
+    over the process-creation channel (the only one that can carry
+    multiprocessing primitives)."""
+
+    name: str
+    size: int
+    lock: Any
+    head: Any
+    freed: Any
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without letting the resource
+    tracker claim (and later unlink) it — only the creating parent
+    owns cleanup.  Spawned workers share the parent's tracker process,
+    so a register/unregister pair per worker would race (the tracker
+    holds one entry per name); suppressing the register is the only
+    side-effect-free option before Python 3.13's ``track=False``."""
+    from multiprocessing import shared_memory
+    try:
+        # Python >= 3.13 grew an explicit opt-out.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmRing:
+    """A coarse multi-producer ring over one shared-memory segment.
+
+    Workers :meth:`reserve` regions with a bump cursor (``head``) under
+    a shared lock and memcpy their column buffers in; the parent
+    :meth:`release`\\ s each region after decoding it (``freed``).  When
+    the cursor reaches the end it restarts from offset 0 — but only at
+    a drain point (``head == freed``, i.e. every reserved byte has been
+    consumed), which the linear allocation order makes safe.  If the
+    ring is full and not drained, :meth:`write` returns ``None`` and
+    the caller falls back to shipping the bytes inline; correctness
+    never depends on capacity.
+
+    The creating process owns the segment: :meth:`destroy` closes and
+    unlinks it on every exit path (`BatchExecutor.__exit__`, the
+    ``finally`` in ``run_experiments``), including error paths where
+    outstanding tickets are simply abandoned with the segment.
+    """
+
+    def __init__(self, spec: RingSpec, segment, owner: bool) -> None:
+        self._spec = spec
+        self._segment = segment
+        self._owner = owner
+        self._destroyed = False
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(cls, size: int, ctx=None) -> "ShmRing":
+        """Parent side: allocate the segment and the shared cursors."""
+        from multiprocessing import shared_memory
+        ctx = ctx or multiprocessing.get_context("spawn")
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        spec = RingSpec(name=segment.name, size=size, lock=ctx.Lock(),
+                        head=ctx.Value("Q", 0, lock=False),
+                        freed=ctx.Value("Q", 0, lock=False))
+        return cls(spec, segment, owner=True)
+
+    @classmethod
+    def attach(cls, spec: RingSpec) -> "ShmRing":
+        """Worker side: map the parent's segment."""
+        return cls(spec, _attach_segment(spec.name), owner=False)
+
+    def spec(self) -> RingSpec:
+        return self._spec
+
+    @property
+    def size(self) -> int:
+        return self._spec.size
+
+    # -- allocation ------------------------------------------------------
+
+    @staticmethod
+    def _aligned(nbytes: int) -> int:
+        return (nbytes + _ITEMSIZE - 1) & ~(_ITEMSIZE - 1)
+
+    def reserve(self, nbytes: int) -> Optional[int]:
+        """Claim *nbytes* (rounded up to an 8-byte boundary); returns
+        the offset, or ``None`` when the ring is full."""
+        need = self._aligned(nbytes)
+        spec = self._spec
+        with spec.lock:
+            head = spec.head.value
+            if head + need > spec.size:
+                if spec.head.value != spec.freed.value or need > spec.size:
+                    return None
+                # Drained: every reserved byte was released, so no
+                # live ticket can alias the restarted region.
+                spec.freed.value = 0
+                head = 0
+            spec.head.value = head + need
+            return head
+
+    def release(self, nbytes: int) -> None:
+        """Parent side: return a decoded ticket's bytes to the ring."""
+        spec = self._spec
+        with spec.lock:
+            spec.freed.value += self._aligned(nbytes)
+
+    # -- data ------------------------------------------------------------
+
+    def write(self, columns: array) -> Optional[Tuple[int, int]]:
+        """Copy *columns* into the ring; ``(offset, nbytes)`` ticket,
+        or ``None`` when there is no room (caller ships inline)."""
+        nbytes = len(columns) * columns.itemsize
+        offset = self.reserve(nbytes)
+        if offset is None:
+            return None
+        self._segment.buf[offset:offset + nbytes] = \
+            memoryview(columns).cast("B")
+        return offset, nbytes
+
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        """A zero-copy view of a written region (valid until
+        :meth:`release` / :meth:`destroy`)."""
+        return self._segment.buf[offset:offset + nbytes]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Unmap — and, in the owning parent, unlink — the segment.
+        Idempotent, safe on error paths."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from array import array
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -110,11 +111,16 @@ class LatencyRecorder:
     Samples recorded before ``start_at`` (the measurement-window start,
     set by the harness after warm-up) are discarded at query time.
 
-    **Exact mode** (the default) stores every sample.  Queries share one
-    sorted copy of the windowed samples, rebuilt only when a sample
-    lands or ``start_at`` moves since the last query, so ``cdf_points``
-    over six percentiles costs one sort instead of six and ``record``
-    stays a bare ``list.append``.
+    **Exact mode** (the default) stores every sample in two flat
+    ``array('d')`` columns (times, values) — samples are columnar at
+    collection time, so the result transport can ship them as packed
+    float buffers without a per-sample conversion pass.  Simulation
+    time is monotone, so the window cut is a ``bisect`` over the time
+    column (a linear-scan fallback covers hand-built recorders that
+    append out of order).  Queries share one sorted copy of the
+    windowed values, rebuilt only when a sample lands or ``start_at``
+    moves since the last query, so ``cdf_points`` over six percentiles
+    costs one sort instead of six and ``record`` stays bare appends.
 
     **Sketch mode** (``sketch=True``) keeps O(1) state per tracked
     percentile (:data:`SKETCH_PERCENTILES`, via P-squared estimators)
@@ -125,12 +131,16 @@ class LatencyRecorder:
     sketch, which is how the harness discards warm-up samples.
     """
 
-    __slots__ = ("_samples", "_start_at", "_cache", "_cache_len",
+    __slots__ = ("_times", "_values", "_last_time", "_monotone",
+                 "_start_at", "_cache", "_cache_len",
                  "_cache_start", "_sketch", "_estimators", "_count",
                  "_sum", "_min", "_max", "_seed", "_raw_total")
 
     def __init__(self, sketch: bool = False) -> None:
-        self._samples: List[Tuple[float, float]] = []
+        self._times = array("d")
+        self._values = array("d")
+        self._last_time = -math.inf
+        self._monotone = True
         self._start_at = 0.0
         self._cache: Optional[List[float]] = None
         self._cache_len = -1
@@ -170,7 +180,12 @@ class LatencyRecorder:
         """Record *value* observed at simulated time *now*."""
         self._raw_total += 1
         if not self._sketch:
-            self._samples.append((now, value))
+            if now < self._last_time:
+                self._monotone = False
+            else:
+                self._last_time = now
+            self._times.append(now)
+            self._values.append(value)
             return
         if now < self._start_at:
             return
@@ -185,18 +200,49 @@ class LatencyRecorder:
         for estimator in self._estimators.values():
             estimator.add(value)
 
+    def _window_lo(self) -> int:
+        """Index of the first sample inside the measurement window."""
+        if self._monotone:
+            return bisect.bisect_left(self._times, self._start_at)
+        # Out-of-order appends (hand-built recorders only): no index
+        # structure holds, fall back to a full scan via window_columns.
+        return -1
+
     def _window_sorted(self) -> List[float]:
         """Sorted windowed values; cached until the inputs change."""
-        n = len(self._samples)
+        n = len(self._values)
         if (self._cache is not None and self._cache_len == n
                 and self._cache_start == self._start_at):
             return self._cache
         start = self._start_at
-        values = sorted(v for (t, v) in self._samples if t >= start)
+        lo = self._window_lo()
+        if lo >= 0:
+            values = sorted(self._values[lo:])
+        else:
+            values = sorted(v for (t, v) in zip(self._times, self._values)
+                            if t >= start)
         self._cache = values
         self._cache_len = n
         self._cache_start = start
         return values
+
+    def window_columns(self) -> Tuple[array, array]:
+        """The windowed samples as flat ``array('d')`` (times, values)
+        columns in arrival order — the transport-ready view.  Sketch
+        mode stores no samples and returns empty columns."""
+        if self._sketch:
+            return array("d"), array("d")
+        lo = self._window_lo()
+        if lo >= 0:
+            return self._times[lo:], self._values[lo:]
+        start = self._start_at
+        times = array("d")
+        values = array("d")
+        for t, v in zip(self._times, self._values):
+            if t >= start:
+                times.append(t)
+                values.append(v)
+        return times, values
 
     def __len__(self) -> int:
         if self._sketch:
@@ -275,13 +321,18 @@ class LatencyRecorder:
 
 
 class TimeSeries:
-    """Append-only (time, value) series, e.g. running-thread counts."""
+    """Append-only (time, value) series, e.g. running-thread counts.
+
+    Backed by two flat ``array('d')`` columns so a window is a pair of
+    ``bisect`` cuts plus buffer slices — :meth:`columns` hands the raw
+    slices to the result transport with no per-sample conversion.
+    """
 
     __slots__ = ("_times", "_values")
 
     def __init__(self) -> None:
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times = array("d")
+        self._values = array("d")
 
     def append(self, now: float, value: float) -> None:
         if self._times and now < self._times[-1]:
@@ -300,6 +351,15 @@ class TimeSeries:
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
         return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def columns(self, start: float = 0.0,
+                end: float = math.inf) -> Tuple[array, array]:
+        """The ``start <= t < end`` window as flat ``array('d')``
+        (times, values) columns — same cut as :meth:`window`, no
+        tuple boxing."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return self._times[lo:hi], self._values[lo:hi]
 
     def mean(self, start: float = 0.0, end: float = math.inf) -> float:
         pairs = self.window(start, end)

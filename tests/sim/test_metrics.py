@@ -96,6 +96,66 @@ class TestLatencyRecorder:
         assert r.maximum() == max(reference)
 
 
+class TestColumnarBuffers:
+    """The array-backed storage behind LatencyRecorder/TimeSeries: the
+    columnar views must cut the same window the scalar queries do."""
+
+    def test_window_columns_arrival_order(self):
+        r = LatencyRecorder()
+        for t, v in ((0.5, 9.0), (1.5, 3.0), (2.5, 1.0), (3.5, 2.0)):
+            r.record(t, v)
+        r.start_at = 1.0
+        times, values = r.window_columns()
+        assert list(times) == [1.5, 2.5, 3.5]
+        assert list(values) == [3.0, 1.0, 2.0]
+
+    def test_window_columns_empty(self):
+        times, values = LatencyRecorder().window_columns()
+        assert len(times) == 0 and len(values) == 0
+
+    def test_window_columns_sketch_stores_nothing(self):
+        r = LatencyRecorder(sketch=True)
+        for i in range(100):
+            r.record(float(i), 1.0)
+        times, values = r.window_columns()
+        assert len(times) == 0 and len(values) == 0
+
+    def test_non_monotone_record_falls_back_to_scan(self):
+        """Hand-built recorders may append out of time order; the
+        bisect window cut only holds for monotone times, so the
+        recorder must detect the disorder and still answer every
+        query from a full scan."""
+        r = LatencyRecorder()
+        samples = [(3.0, 30.0), (1.0, 10.0), (4.0, 40.0), (2.0, 20.0)]
+        for t, v in samples:
+            r.record(t, v)
+        r.start_at = 2.0
+        reference = sorted(v for (t, v) in samples if t >= 2.0)
+        assert r._window_sorted() == reference
+        assert len(r) == 3
+        assert r.maximum() == 40.0
+        assert r.mean() == pytest.approx(sum(reference) / 3)
+        times, values = r.window_columns()
+        assert list(zip(times, values)) == [(3.0, 30.0), (4.0, 40.0),
+                                            (2.0, 20.0)]
+
+    def test_cdf_points_sketch_close_to_exact(self):
+        """Sketch-mode cdf_points tracks the exact recorder's curve
+        within tolerance (the quick-exhibit memory-bound path)."""
+        rng = random.Random(3)
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(20000)]
+        exact = LatencyRecorder()
+        sketch = LatencyRecorder(sketch=True)
+        for i, v in enumerate(values):
+            exact.record(float(i), v)
+            sketch.record(float(i), v)
+        for (q, want), (q2, got) in zip(exact.cdf_points(SKETCH_PERCENTILES),
+                                        sketch.cdf_points(SKETCH_PERCENTILES)):
+            assert q == q2
+            tol = 0.15 if q >= 99.9 else 0.05
+            assert got == pytest.approx(want, rel=tol), f"p{q}"
+
+
 class TestTimeSeries:
     def test_append_and_window(self):
         ts = TimeSeries()
@@ -103,6 +163,29 @@ class TestTimeSeries:
             ts.append(float(t), float(t * 10))
         assert len(ts) == 5
         assert ts.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_window_out_of_window_edges(self):
+        """Regression for the bisect cut: boundaries are start <= t <
+        end, and windows entirely before/after the data are empty
+        rather than wrapping or raising."""
+        ts = TimeSeries()
+        for t in (1.0, 2.0, 3.0):
+            ts.append(t, t * 10)
+        assert ts.window(0.0, 0.5) == []
+        assert ts.window(3.5, 9.0) == []
+        assert ts.window(2.0, 2.0) == []
+        assert ts.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0)]
+        assert ts.window(0.0, 99.0) == [(1.0, 10.0), (2.0, 20.0),
+                                        (3.0, 30.0)]
+
+    def test_columns_match_window(self):
+        ts = TimeSeries()
+        for t in range(5):
+            ts.append(float(t), float(t * 10))
+        times, values = ts.columns(1.0, 3.0)
+        assert list(zip(times, values)) == ts.window(1.0, 3.0)
+        all_times, all_values = ts.columns()
+        assert len(all_times) == len(ts) == len(all_values)
 
     def test_out_of_order_rejected(self):
         ts = TimeSeries()
@@ -294,7 +377,8 @@ class TestLatencySketch:
 
     def test_stores_no_samples(self):
         _, sketch = self._pair(self._heavy_tail(5000))
-        assert sketch._samples == []
+        assert len(sketch._times) == 0
+        assert len(sketch._values) == 0
         assert sketch.is_sketch
 
     def test_window_move_resets_sketch(self):
