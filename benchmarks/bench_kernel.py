@@ -15,6 +15,18 @@ Measures the hot paths the exhibit harness spends its time in:
 - ``percentile_query_sec`` — ``LatencyRecorder.cdf_points`` over the
   harness's six percentiles on a large sample set (the sorted-window
   cache target).
+- ``sched_*_events_per_sec`` — the CPU scheduler hot path: threads
+  chaining multi-quantum jobs through :class:`repro.sim.cpu.Cpu`.
+  ``sched_uncontended`` runs one thread per core with stint coalescing
+  on (one completion event per job), ``sched_sliced`` is the same
+  workload with coalescing disabled (one event per quantum — the
+  pre-coalescing schedule), and ``sched_contended`` oversubscribes the
+  cores 3:1 so the run queue stays hot (coalescing rarely applies;
+  guards the preemption path).  All three rates are normalised to the
+  *sliced* schedule's event count so they compare at equal logical
+  work; ``sched_coalesce_speedup`` is measured separately as the
+  median of paired coalesced/sliced runs (robust on noisy runners)
+  and pinned to a floor by ``--check``.
 - ``quick_exhibit_wall_sec`` — one representative end-to-end quick
   exhibit (``tab3``) through :func:`run_exhibit`.
 
@@ -48,6 +60,11 @@ BENCH_FILE = Path(__file__).resolve().parent / "BENCH_core.json"
 
 #: The percentile set every ExperimentResult reports.
 PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0, 99.9)
+
+#: --check fails if the coalescing speedup on the uncontended scheduler
+#: workload drops below this (the PR's pinned floor; speedup ratios are
+#: machine-portable, so the floor holds on shared CI runners too).
+COALESCE_SPEEDUP_FLOOR = 1.3
 
 
 def bench_timeouts(processes: int = 50, chain: int = 2000) -> float:
@@ -147,6 +164,79 @@ def bench_percentiles(samples: int = 200_000, repeats: int = 20) -> float:
     return time.perf_counter() - started
 
 
+def _scheduler_run(threads: int, jobs: int, work: float,
+                   contended: bool, coalesce: bool):
+    """One scheduler workload run; returns (simulator, elapsed)."""
+    from repro.sim.cpu import Cpu
+    from repro.sim.metrics import Metrics
+    from repro.sim.params import CostParams
+    from repro.sim.threads import SimThread
+
+    sim = Simulator()
+    cpu = Cpu(sim, Metrics(), CostParams(), cores=threads,
+              coalesce=coalesce)
+    n_threads = threads * 3 if contended else threads
+
+    def worker(thread, n):
+        for _ in range(n):
+            yield cpu.execute(thread, work)
+
+    for _ in range(n_threads):
+        sim.process(worker(SimThread(cpu), jobs))
+    started = time.perf_counter()
+    sim.run()
+    return sim, time.perf_counter() - started
+
+
+#: Sliced-schedule event counts per workload shape (deterministic, so
+#: one reference run per shape is enough).
+_SLICED_EVENTS = {}
+
+
+def bench_scheduler(threads: int = 2, jobs: int = 400, work: float = 8.0e-3,
+                    contended: bool = False, coalesce: bool = True) -> float:
+    """Events/sec for threads chaining multi-quantum CPU jobs.
+
+    *work* spans several scheduler quanta (default 8 at the 1 ms
+    quantum), the shape stint coalescing targets.  The rate is
+    normalised to the **sliced** schedule's event count for this
+    workload shape, so coalesced and sliced runs compare at equal
+    logical work (coalescing's fewer physical events show up as a
+    higher rate, exactly like any other events/sec win).
+    """
+    key = (threads, jobs, work, contended)
+    reference_events = _SLICED_EVENTS.get(key)
+    if reference_events is None:
+        sim, _ = _scheduler_run(threads, jobs, work, contended,
+                                coalesce=False)
+        reference_events = sim._event_count
+        _SLICED_EVENTS[key] = reference_events
+    sim, elapsed = _scheduler_run(threads, jobs, work, contended, coalesce)
+    return reference_events / elapsed
+
+
+def bench_scheduler_speedup(rounds: int = 5, threads: int = 2,
+                            jobs: int = 150, work: float = 16.0e-3) -> float:
+    """Coalescing speedup on the uncontended workload, measured as the
+    **median of paired back-to-back ratios**.
+
+    Taking the ratio of two independently best-of-N rates is unstable on
+    noisy shared runners (each side can catch a different slowdown); a
+    paired run puts both schedules under near-identical machine
+    conditions and the median discards the odd bad round, so the ratio
+    stays within a few percent run to run.
+    """
+    ratios = []
+    for _ in range(rounds):
+        _, elapsed_coalesced = _scheduler_run(
+            threads, jobs, work, contended=False, coalesce=True)
+        _, elapsed_sliced = _scheduler_run(
+            threads, jobs, work, contended=False, coalesce=False)
+        ratios.append(elapsed_sliced / elapsed_coalesced)
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
+
 def bench_quick_exhibit() -> float:
     """Wall-clock seconds for one representative quick exhibit."""
     from repro.experiments.figures import run_exhibit
@@ -176,6 +266,12 @@ def run_all(with_exhibit: bool = True, quick: bool = False,
             "fanout_events_per_sec": round(best(bench_fanout, 1500)),
             "fanout_allof_events_per_sec": round(
                 best(bench_fanout, 1500, use_latch=False)),
+            "sched_uncontended_events_per_sec": round(
+                best(bench_scheduler)),
+            "sched_sliced_events_per_sec": round(
+                best(bench_scheduler, coalesce=False)),
+            "sched_contended_events_per_sec": round(
+                best(bench_scheduler, contended=True)),
             "percentile_query_sec": round(bench_percentiles(50_000, 5), 4),
         }
     else:
@@ -185,9 +281,16 @@ def run_all(with_exhibit: bool = True, quick: bool = False,
             "fanout_events_per_sec": round(best(bench_fanout)),
             "fanout_allof_events_per_sec": round(
                 best(bench_fanout, use_latch=False)),
+            "sched_uncontended_events_per_sec": round(best(bench_scheduler)),
+            "sched_sliced_events_per_sec": round(
+                best(bench_scheduler, coalesce=False)),
+            "sched_contended_events_per_sec": round(
+                best(bench_scheduler, contended=True)),
             "percentile_query_sec": round(
                 min(bench_percentiles() for _ in range(3)), 4),
         }
+    metrics["sched_coalesce_speedup"] = round(
+        bench_scheduler_speedup(rounds=5 if quick else 7), 2)
     if with_exhibit:
         metrics["quick_exhibit_wall_sec"] = round(bench_quick_exhibit(), 2)
     return metrics
@@ -216,6 +319,12 @@ def check_regression(metrics: dict, trajectory: dict,
     failures = 0
     for key, value in metrics.items():
         if not key.endswith("_events_per_sec"):
+            continue
+        if key.startswith("sched_"):
+            # Scheduler runs are short and CPU-scheduler-shaped, so
+            # their absolute rates swing well past the band with
+            # machine load; the regression pin for this path is the
+            # machine-portable paired ratio (COALESCE_SPEEDUP_FLOOR).
             continue
         base = baseline["metrics"].get(key)
         if not base:
@@ -280,6 +389,14 @@ def main(argv=None) -> int:
         print(f"{'latch vs AllOf (fanout)':28s} {latch / allof:.2f}x")
     if args.check:
         failures = check_regression(metrics, trajectory)
+        speedup = metrics.get("sched_coalesce_speedup")
+        if speedup is not None:
+            status = ("ok" if speedup >= COALESCE_SPEEDUP_FLOOR
+                      else "REGRESSED")
+            print(f"check {'sched_coalesce_speedup':28s} {speedup:5.2f}x "
+                  f"(floor {COALESCE_SPEEDUP_FLOOR}x) [{status}]")
+            if speedup < COALESCE_SPEEDUP_FLOOR:
+                failures += 1
         if failures:
             print(f"check FAILED: {failures} metric(s) regressed >20%")
             return 1

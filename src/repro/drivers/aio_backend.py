@@ -133,7 +133,7 @@ class AioBackendServer(AppServer):
             locked_part = total * self.params.decode_lock_fraction
             conn_lock = self._conn_locks[response.shard_id]
             yield from locked_section(worker, conn_lock, locked_part, "app")
-            self.metrics.add("server.fanout_responses")
+            self._fanout_responses.add()
             yield worker.execute(total - locked_part, "app")
             state: RequestState = response.context
             if state.absorb(response.payload_size, self.sim.now):

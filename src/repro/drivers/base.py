@@ -116,6 +116,15 @@ class AppServer:
         self._fanout_rng = rng_streams.stream(f"{self.name}.fanout")
         self._request_cpu_rng = rng_streams.stream(f"{self.name}.request_cpu")
         self.requests_completed = 0
+        # Interned per-request instruments.  The degraded counter and
+        # other fault-path names stay lazy: healthy runs must not grow
+        # zero-valued fault keys.  Per-class counters are interned on
+        # first use so their relative creation order is unchanged.
+        self._requests_counter = metrics.counter("server.requests")
+        self._fanout_responses = metrics.counter("server.fanout_responses")
+        self._completed = metrics.counter("server.completed")
+        self._completed_by_klass: dict = {}
+        self._time_in_server = metrics.latency("server.time_in_server")
         #: Shared buffer-allocator lock.  Architectures whose worker
         #: threads are transient or unbounded (thread-based, Type-1,
         #: Type-2b) allocate from a process-wide pool and contend here;
@@ -216,7 +225,7 @@ class AppServer:
         :attr:`CostParams.request_cpu_cv` (deterministic when the CV
         is 0), modelling heterogeneous page weights.
         """
-        self.metrics.add("server.requests")
+        self._requests_counter.add()
         cost = self.params.http_parse_cost
         if self.params.request_cpu > 0:
             if self.params.request_cpu_cv > 0:
@@ -229,7 +238,7 @@ class AppServer:
 
     def process_response_cpu(self, thread: SimThread, payload_size: int):
         """Coroutine: charge fanout-response processing CPU."""
-        self.metrics.add("server.fanout_responses")
+        self._fanout_responses.add()
         yield thread.execute(
             self.params.response_process_cost(payload_size), "app")
 
@@ -258,10 +267,15 @@ class AppServer:
             completed_at=self.sim.now,
         )
         self.requests_completed += 1
-        self.metrics.add("server.completed")
-        self.metrics.add(f"server.completed.{state.request.klass}")
+        self._completed.add()
+        klass = state.request.klass
+        by_klass = self._completed_by_klass.get(klass)
+        if by_klass is None:
+            by_klass = self.metrics.counter(f"server.completed.{klass}")
+            self._completed_by_klass[klass] = by_klass
+        by_klass.add()
         if state.failed:
             self.metrics.add("server.completed.degraded")
-        self.metrics.latency("server.time_in_server").record(
+        self._time_in_server.record(
             self.sim.now, self.sim.now - state.arrived_at)
         yield from state.conn.send(thread, response, response.wire_size, to_side="a")

@@ -48,6 +48,9 @@ class SyncConnectionPool:
                          List[Tuple[Connection, InboxEndpoint]]] = (
             defaultdict(list))
         self.created = 0
+        # Interned per-checkout counters (resilience.* names stay lazy).
+        self._reused = metrics.counter(f"pool.{name}.reused")
+        self._created = metrics.counter(f"pool.{name}.created")
 
     def checkout(self, thread: SimThread, shard_id: int, replica: int = 0):
         """Coroutine: obtain an exclusive (connection, inbox) pair to
@@ -62,13 +65,13 @@ class SyncConnectionPool:
             thread, self.mutex, self.params.mutex_hold_time, "app")
         free = self._free[shard_id, replica]
         if free:
-            self.metrics.add(f"pool.{self.name}.reused")
+            self._reused.add()
             return free.pop()
         conn = self.cluster.connect_shard(shard_id, replica)
         inbox = InboxEndpoint(self.sim, self.cpu, self.params)
         conn.attach("a", inbox)
         self.created += 1
-        self.metrics.add(f"pool.{self.name}.created")
+        self._created.add()
         # TCP handshake: one round trip before the connection is usable.
         yield self.sim.timeout(2 * conn.latency)
         return conn, inbox

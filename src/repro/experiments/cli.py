@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
              "is the classic per-result pickle over the pool pipe.  "
              "Results are byte-identical either way; irrelevant with "
              "--jobs 1.")
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run under cProfile, dump raw stats to PATH "
+             "(load with pstats or snakeviz) and print the top 25 "
+             "cumulative-time functions.  Profiles the parent process "
+             "only; use with --jobs 1 to capture simulation hot paths.")
     return parser
 
 
@@ -52,6 +58,29 @@ def main(argv=None) -> int:
     if args.jobs < 0:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.profile:
+        return _profiled_main(args)
+    return _run(args)
+
+
+def _profiled_main(args) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"[profile written to {args.profile}]")
+    return status
+
+
+def _run(args) -> int:
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         if name not in EXHIBITS:

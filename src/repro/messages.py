@@ -9,7 +9,7 @@ single shared vocabulary with no import cycles.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -25,6 +25,31 @@ __all__ = [
 request_ids = itertools.count(1)
 
 
+def _with_slots(cls):
+    """Rebuild a dataclass with ``__slots__`` (3.9-compatible).
+
+    ``@dataclass(slots=True)`` needs Python 3.10; this repo supports
+    3.9.  Slots must be present at class creation, so the class is
+    rebuilt with a ``__slots__`` tuple naming every field.  Field
+    defaults stored as class attributes are dropped (they would shadow
+    the slot descriptors); ``__init__`` keeps them alive through its
+    ``__defaults__``, and ``default_factory`` fields never create class
+    attributes in the first place.
+    """
+    slots = tuple(f.name for f in fields(cls))
+    namespace = dict(cls.__dict__)
+    namespace.pop("__dict__", None)
+    namespace.pop("__weakref__", None)
+    for name in slots:
+        namespace.pop(name, None)
+    namespace["__slots__"] = slots
+    rebuilt = type(cls)(cls.__name__, cls.__bases__, namespace)
+    rebuilt.__qualname__ = cls.__qualname__
+    rebuilt.__module__ = cls.__module__
+    return rebuilt
+
+
+@_with_slots
 @dataclass
 class HttpRequest:
     """An upstream client request that triggers fanout queries.
@@ -51,6 +76,7 @@ class HttpRequest:
         return 300
 
 
+@_with_slots
 @dataclass
 class HttpResponse:
     """The assembled reply to an :class:`HttpRequest`."""
@@ -65,6 +91,7 @@ class HttpResponse:
         return self.payload_size + 160
 
 
+@_with_slots
 @dataclass
 class Query:
     """One fanout query to a datastore shard."""
@@ -88,6 +115,7 @@ class Query:
         return 180
 
 
+@_with_slots
 @dataclass
 class QueryResponse:
     """A shard's reply to a :class:`Query`."""

@@ -16,15 +16,25 @@ models a node's cores explicitly, with Linux-like semantics:
 - Runnable threads beyond the core count wait in a FIFO run queue; the
   time-weighted runnable count gives Table 1's "concurrent running
   threads" and Figure 9's timeline.
+
+Hot-path notes (see DESIGN.md "Scheduler hot path"): metric names are
+interned once into handle objects, fire-and-forget work can skip the
+completion :class:`Event` via :meth:`Cpu.execute_then`, and a core whose
+run queue is empty *coalesces* its whole stint into one completion event
+instead of per-quantum slices.  Coalescing is an event-count
+optimisation only — every timestamp, charge, and counter it produces is
+bit-identical to the sliced schedule (the deferred per-slice charges are
+committed lazily, in global charge order, by
+:meth:`CpuAccounting.co_sync` before any read).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from .kernel import Event, Simulator
-from .metrics import Metrics
+from .metrics import CpuCharger, Metrics
 from .params import CostParams
 
 __all__ = ["Cpu"]
@@ -35,16 +45,26 @@ _EPSILON = 1.0e-12
 
 
 class _Job:
-    __slots__ = ("remaining", "done", "category", "total", "preempted_at_busy")
+    __slots__ = ("remaining", "done", "category", "total",
+                 "preempted_at_busy", "charger", "fn", "arg")
 
-    def __init__(self, remaining: float, done: Event, category: str) -> None:
+    def __init__(self, remaining: float, done: Optional[Event],
+                 category: str, charger: CpuCharger,
+                 fn: Optional[Callable[[Any], None]] = None,
+                 arg: Any = None) -> None:
         self.remaining = remaining
+        #: Completion event (``execute``) or None (``execute_then``).
         self.done = done
         self.category = category
+        #: Interned charge handle for *category* (no per-slice lookup).
+        self.charger = charger
         self.total = remaining
         #: Machine-busy-time stamp of the preemption, or None while the
         #: job's cache state is intact.
         self.preempted_at_busy = None
+        #: Completion callback for ``execute_then`` jobs.
+        self.fn = fn
+        self.arg = arg
 
 
 class _ThreadState:
@@ -68,7 +88,8 @@ class _ThreadState:
 
 
 class _Core:
-    __slots__ = ("index", "last_thread", "current", "stint_used")
+    __slots__ = ("index", "last_thread", "current", "stint_used",
+                 "co", "co_gen")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -78,13 +99,94 @@ class _Core:
         self.current: Optional[_ThreadState] = None
         #: CPU time this thread has used in its current stint.
         self.stint_used = 0.0
+        #: Active coalesced-stint cursor, if any.
+        self.co: Optional["_CoStint"] = None
+        #: Generation counter invalidating stale coalesced completions.
+        self.co_gen = 0
+
+
+class _CoStint:
+    """Cursor replaying a coalesced stint's sliced schedule lazily.
+
+    Created when a core starts (or continues) a stint with an empty run
+    queue and more than one slice of work left.  Instead of one event
+    per quantum, the :class:`Cpu` schedules a single completion event at
+    :meth:`final_time` and registers this cursor with the shared
+    :class:`~repro.sim.metrics.CpuAccounting`.  The cursor knows the
+    exact times and lengths of every slice the sliced schedule would
+    have run; :meth:`commit_next` performs one slice's charge with the
+    same float arithmetic, so lazily committing boundaries up to ``now``
+    (``CpuAccounting.co_sync``) reproduces the eager per-slice charges
+    bit for bit.
+    """
+
+    __slots__ = ("sim", "cpu", "core", "state", "job", "charger",
+                 "quantum", "prev_t", "next_t", "s_next", "remaining",
+                 "stint_used", "reg", "exhausted")
+
+    def __init__(self, cpu: "Cpu", core: _Core, state: _ThreadState,
+                 job: _Job, first_slice: float, extra_delay: float) -> None:
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.core = core
+        self.state = state
+        self.job = job
+        self.charger = job.charger
+        self.quantum = cpu.params.quantum
+        now = cpu.sim.now
+        #: Time the most recently committed boundary fired (scheduling
+        #: time of the next slice — the sliced schedule's tie-breaker).
+        self.prev_t = now
+        # Matches call_later's ``now + (extra_delay + slice_len)``
+        # parenthesisation exactly.
+        self.next_t = now + (extra_delay + first_slice)
+        self.s_next = first_slice
+        self.remaining = job.remaining
+        self.stint_used = core.stint_used
+        self.reg = 0
+        self.exhausted = False
+
+    def final_time(self) -> float:
+        """Completion instant, via the sliced schedule's float chain."""
+        q = self.quantum
+        t = self.next_t
+        r = self.remaining - self.s_next
+        while r > _EPSILON:
+            s = r if r < q else q
+            t += s
+            r -= s
+        return t
+
+    def commit_next(self, acct) -> None:
+        """Commit one slice boundary: the deferred ``_slice_done`` charge."""
+        ch = self.charger
+        if not ch._linked:
+            ch._linked = True
+            acct._order.append(ch)
+        s = self.s_next
+        ch.value += s
+        acct._busy_ever += s
+        self.stint_used += s
+        self.remaining -= s
+        self.prev_t = self.next_t
+        if self.remaining > _EPSILON:
+            # Sliced path: stint_used resets, next slice = min(r, q).
+            self.stint_used = 0.0
+            q = self.quantum
+            r = self.remaining
+            s = r if r < q else q
+            self.s_next = s
+            self.next_t = self.prev_t + s
+        else:
+            self.exhausted = True
 
 
 class Cpu:
     """A multi-core processor with a shared FIFO run queue."""
 
     def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
-                 cores: Optional[int] = None, name: str = "app") -> None:
+                 cores: Optional[int] = None, name: str = "app",
+                 coalesce: bool = True) -> None:
         self.sim = sim
         self.metrics = metrics
         self.params = params
@@ -100,6 +202,14 @@ class Cpu:
         self._load_integral = 0.0
         self._load_last_t = 0.0
         self._load_current = 0
+        #: Coalesce uncontended multi-quantum stints into one event.
+        self._coalesce = coalesce
+        #: Number of this Cpu's cores currently running a coalesced stint.
+        self._co_active = 0
+        # Interned hot-path handles: no f-string or dict lookup per
+        # context switch.
+        self._ctx_counter = metrics.counter(f"cpu.{name}.ctx_switches")
+        self._ctx_charger = metrics.cpu.charger("ctx_switch")
 
     # -- load bookkeeping -------------------------------------------------
 
@@ -133,12 +243,42 @@ class Cpu:
         if amount < 0:
             raise ValueError("cannot execute negative work")
         done = Event(self.sim)
+        if amount == 0.0 and self._try_zero_fast_path(thread, category):
+            done.succeed()
+            return done
+        self._submit(thread, _Job(amount, done, category,
+                                  self.metrics.cpu.charger(category)))
+        return done
+
+    def execute_then(self, thread, amount: float, category: str = "app",
+                     fn: Optional[Callable[[Any], None]] = None,
+                     arg: Any = None) -> None:
+        """Request CPU for *thread*, then call ``fn(arg)`` — no Event.
+
+        The fire-and-forget counterpart of :meth:`execute`, in the style
+        of ``Simulator.call_later``: charges and scheduling are
+        identical, but no completion :class:`Event` is allocated or
+        dispatched.  With ``fn=None`` this is a pure charge (the common
+        case for call sites that discarded :meth:`execute`'s event).
+        The callback cannot be cancelled or waited on.
+        """
+        if amount < 0:
+            raise ValueError("cannot execute negative work")
+        if amount == 0.0 and self._try_zero_fast_path(thread, category):
+            if fn is not None:
+                fn(arg)
+            return
+        self._submit(thread, _Job(amount, None, category,
+                                  self.metrics.cpu.charger(category),
+                                  fn, arg))
+
+    def _submit(self, thread, job: _Job) -> None:
         state = self._states.get(thread.tid)
         if state is None:
             state = _ThreadState(thread)
             self._states[thread.tid] = state
         was_runnable = state.runnable
-        state.jobs.append(_Job(amount, done, category))
+        state.jobs.append(job)
         if not was_runnable:
             self._load_delta(+1)
             # Thread just became runnable.  If it is mid-decision on a
@@ -157,7 +297,52 @@ class Cpu:
                 else:
                     state.queued = True
                     self._run_queue.append(state)
-        return done
+                    # The run queue just became (or stayed) non-empty:
+                    # coalesced stints would now mispredict preemption,
+                    # so fall back to per-slice events.
+                    if self._co_active:
+                        self._de_coalesce()
+
+    def _try_zero_fast_path(self, thread, category: str) -> bool:
+        """Complete zero-length work at this instant, skipping the queue.
+
+        Only applies when the scheduled path would have produced the
+        same accounting: the thread must be idle, an idle core must be
+        available, and the core the affinity rule would pick must not
+        owe a context switch (its last thread was this one, or none).
+        Otherwise the caller falls through to the scheduled path, which
+        charges the context switch exactly as before.
+        """
+        if not self._idle:
+            return False
+        state = self._states.get(thread.tid)
+        if state is None:
+            state = _ThreadState(thread)
+            self._states[thread.tid] = state
+        elif state.jobs or state.running_on is not None or state.queued:
+            return False
+        core = state.last_core
+        affine = core is not None and core in self._idle
+        if not affine:
+            core = self._idle[0]
+        if core.last_thread is not None and core.last_thread is not thread:
+            return False
+        # Replicate the scheduled path's side effects in its exact
+        # order: both load deltas stay (they pin the load integral's
+        # float association), the idle deque rotates the same way, and
+        # the zero charge still links the category handle.
+        self._load_delta(+1)
+        if affine:
+            self._idle.remove(core)
+        else:
+            self._idle.popleft()
+        state.last_core = core
+        core.last_thread = thread
+        core.stint_used = 0.0
+        self.metrics.cpu.charger(category).add(0.0)
+        self._load_delta(-1)
+        self._idle.append(core)
+        return True
 
     # -- core machinery ----------------------------------------------------
 
@@ -182,16 +367,16 @@ class Cpu:
                 # little, a long wait behind many fat threads evicts
                 # everything.  Reactor threads that run jobs to
                 # completion on warm caches never pay this.
+                acct = self.metrics.cpu
                 consumed = min(job.total - job.remaining,
                                self.params.resume_reload_cap)
-                other_work = (self.metrics.cpu.total_busy_ever
-                              - job.preempted_at_busy)
+                other_work = acct.total_busy_ever - job.preempted_at_busy
                 evicted = min(1.0, other_work / self.params.resume_reload_cap)
                 overhead += (self.params.resume_reload_fraction
                              * consumed * evicted)
                 job.preempted_at_busy = None
-            self.metrics.add(f"cpu.{self.name}.ctx_switches")
-            self.metrics.cpu.charge("ctx_switch", overhead)
+            self._ctx_counter.add()
+            self._ctx_charger.add(overhead)
         core.last_thread = state.thread
         self._run_slice(core, state, overhead)
 
@@ -203,13 +388,20 @@ class Cpu:
         if slice_len <= 0.0:
             slice_len = min(job.remaining, self.params.quantum)
             core.stint_used = 0.0  # fresh stint after forced preemption
+        if (self._coalesce and not self._run_queue
+                and job.remaining - slice_len > _EPSILON):
+            # Uncontended multi-slice stint: one completion event for
+            # the whole job instead of one per quantum.  De-coalesced
+            # from _submit if the run queue becomes non-empty.
+            self._coalesce_stint(core, state, job, slice_len, extra_delay)
+            return
         # Bare-callback entry: no Timeout/closure allocated per slice.
         self.sim.call_later(extra_delay + slice_len, self._slice_done,
                             (core, state, job, slice_len))
 
     def _slice_done(self, args) -> None:
         core, state, job, slice_len = args
-        self.metrics.cpu.charge(job.category, slice_len)
+        job.charger.add(slice_len)
         core.stint_used += slice_len
         job.remaining -= slice_len
         if job.remaining > _EPSILON:
@@ -220,13 +412,77 @@ class Cpu:
                 core.stint_used = 0.0
                 self._run_slice(core, state)
             return
+        self._complete(core, state, job)
+
+    def _complete(self, core: _Core, state: _ThreadState, job: _Job) -> None:
         # Job complete: let the owning process react (it may immediately
         # issue the next work request), then decide what this core does.
         state.jobs.popleft()
         if not state.jobs:
             self._load_delta(-1)
-        job.done.succeed()
+        done = job.done
+        if done is not None:
+            done.succeed()
+        elif job.fn is not None:
+            job.fn(job.arg)
         self.sim.call_later(0.0, self._decide, (core, state))
+
+    # -- stint coalescing --------------------------------------------------
+
+    def _coalesce_stint(self, core: _Core, state: _ThreadState, job: _Job,
+                        first_slice: float, extra_delay: float) -> None:
+        co = _CoStint(self, core, state, job, first_slice, extra_delay)
+        self.metrics.cpu.co_register(co)
+        self._co_active += 1
+        core.co_gen += 1
+        core.co = co
+        self.sim.call_at(co.final_time(), self._co_done, (core, core.co_gen))
+
+    def _co_done(self, args) -> None:
+        core, gen = args
+        if gen != core.co_gen:
+            return  # de-coalesced mid-stint; this completion is stale
+        co = core.co
+        core.co = None
+        self._co_active -= 1
+        # Commits every outstanding boundary up to now — including this
+        # stint's final slice (next_t == now), after which the cursor is
+        # exhausted and pruned.
+        self.metrics.cpu.co_sync()
+        job = co.job
+        job.remaining = co.remaining
+        core.stint_used = co.stint_used
+        self._complete(core, co.state, job)
+
+    def _de_coalesce(self) -> None:
+        """Fall back to per-slice events on every coalescing core.
+
+        Commits all slice boundaries due so far, then re-materialises
+        each cursor's in-flight slice as a normal ``_slice_done`` event
+        at its original completion instant — from there the sliced
+        machinery (preemption included) takes over, so a stint that
+        loses its uncontended premise is still event-for-event identical
+        to the never-coalesced schedule.
+        """
+        acct = self.metrics.cpu
+        acct.co_sync()
+        sources = acct._co_sources
+        mine = [src for src in sources if src.cpu is self]
+        if not mine:
+            return
+        acct._co_sources = [src for src in sources if src.cpu is not self]
+        for co in mine:
+            core = co.core
+            core.co = None
+            core.co_gen += 1  # cancel the pending _co_done
+            self._co_active -= 1
+            co.exhausted = True
+            co.job.remaining = co.remaining
+            core.stint_used = co.stint_used
+            self.sim.call_at(co.next_t, self._slice_done,
+                             (core, co.state, co.job, co.s_next))
+
+    # -- preemption / dispatch ---------------------------------------------
 
     def _preempt(self, core: _Core, state: _ThreadState) -> None:
         state.running_on = None
@@ -234,7 +490,8 @@ class Cpu:
         if state.jobs:
             # The in-progress job may lose its cache lines to whoever
             # runs next; it pays a refill when resumed.
-            state.jobs[0].preempted_at_busy = self.metrics.cpu.total_busy_ever
+            state.jobs[0].preempted_at_busy = (
+                self.metrics.cpu.total_busy_ever)
         self._run_queue.append(state)
         self._next_thread(core)
 

@@ -524,6 +524,26 @@ class Simulator:
         else:
             self._push_slow(t, vb, (t, seq, fn, arg))
 
+    def call_at(self, when: float, fn: Callable[[Any], None],
+                arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at absolute time *when* — no Event allocated.
+
+        Like :meth:`call_later`, but takes the target instant directly so
+        callers replaying a precomputed timeline (e.g. coalesced CPU
+        stints) hit the exact float they computed instead of re-deriving
+        it through ``now + (when - now)``.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"call_at target {when} is before now={self.now}")
+        self._seq = seq = self._seq + 1
+        vb = int(when * self._inv_w)
+        if self._vb < vb < self._vbh:
+            self._buckets[vb & self._mask].append((when, seq, fn, arg))
+            self._nbucket += 1
+        else:
+            self._push_slow(when, vb, (when, seq, fn, arg))
+
     def _schedule(self, delay: float, event: Event) -> None:
         self._seq = seq = self._seq + 1
         t = self.now + delay

@@ -13,10 +13,10 @@ import bisect
 import math
 from array import array
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Metrics", "LatencyRecorder", "TimeSeries", "CpuAccounting",
-           "SKETCH_PERCENTILES"]
+__all__ = ["Metrics", "Counter", "CpuCharger", "LatencyRecorder",
+           "TimeSeries", "CpuAccounting", "SKETCH_PERCENTILES"]
 
 #: Percentiles the sketch mode tracks one P-squared estimator for — the
 #: harness's reporting set plus the 0/100 endpoints held as min/max.
@@ -368,6 +368,64 @@ class TimeSeries:
         return sum(v for (_t, v) in pairs) / len(pairs)
 
 
+class Counter:
+    """An interned counter handle: one float cell bound to a name.
+
+    Hot call sites obtain a handle once (:meth:`Metrics.counter`) and
+    bump it with :meth:`add` — no f-string construction and no dict
+    lookup per event.  The cell *is* the counter's storage; the merged
+    :attr:`Metrics.counters` view folds handles back in by name.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class CpuCharger:
+    """An interned CPU-charge handle for one accounting category.
+
+    Owns the category's busy-time cell.  The first charge (of any
+    amount, including zero) links the handle into the accounting's
+    category order, so :meth:`CpuAccounting.windowed` iterates in exact
+    first-charge order — the float-summation order the pre-handle
+    ``defaultdict`` gave, which downstream share calculations depend on
+    for bit-identical results.
+    """
+
+    __slots__ = ("category", "value", "_linked", "_acct")
+
+    def __init__(self, acct: "CpuAccounting", category: str) -> None:
+        self._acct = acct
+        self.category = category
+        self.value = 0.0
+        self._linked = False
+
+    def add(self, amount: float) -> None:
+        acct = self._acct
+        if acct._co_sources:
+            # Coalesced stints elsewhere may have slice boundaries due
+            # before this charge: commit them first so the global charge
+            # order matches the sliced schedule.
+            acct.co_sync()
+        if not self._linked:
+            self._linked = True
+            acct._order.append(self)
+        self.value += amount
+        acct._busy_ever += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CpuCharger {self.category}={self.value}>"
+
+
 class CpuAccounting:
     """Tracks busy time per CPU-work category.
 
@@ -375,35 +433,146 @@ class CpuAccounting:
     ``lock`` (futex), ``thread_init``, ``select``, ``syscall`` (send/recv),
     ``ctx_switch``.  ``window_start`` is set by the harness after
     warm-up so utilisation reflects only the measurement window.
+
+    Storage lives in per-category :class:`CpuCharger` handles
+    (:meth:`charger`); :attr:`busy_by_category` is a read view built
+    from them.  The accounting also hosts the *coalesced-stint* commit
+    protocol: a :class:`~repro.sim.cpu.Cpu` running an uncontended
+    multi-quantum stint defers its per-slice charges behind a cursor
+    registered here, and every read or charge first calls
+    :meth:`co_sync` to commit all deferred slice boundaries up to the
+    current instant, in exactly the order the sliced schedule would
+    have charged them.
     """
 
-    __slots__ = ("busy_by_category", "window_start", "_warmup_by_category",
-                 "total_busy_ever")
+    __slots__ = ("window_start", "_warmup_by_category", "_busy_ever",
+                 "_chargers", "_order", "_co_sources", "_co_reg")
 
     def __init__(self) -> None:
-        self.busy_by_category: Dict[str, float] = defaultdict(float)
+        self._chargers: Dict[str, CpuCharger] = {}
+        #: Chargers in first-charge order (the float-sum order).
+        self._order: List[CpuCharger] = []
         self._warmup_by_category: Dict[str, float] = {}
         self.window_start = 0.0
-        #: Running total of all busy time ever charged (cheap monotonic
-        #: clock of "work done by the machine", used by the cache model).
-        self.total_busy_ever = 0.0
+        # Running total of all busy time ever charged (cheap monotonic
+        # clock of "work done by the machine", used by the cache model);
+        # read through the syncing :attr:`total_busy_ever` property.
+        self._busy_ever = 0.0
+        #: Active coalesced-stint cursors with uncommitted boundaries.
+        self._co_sources: List[Any] = []
+        self._co_reg = 0
+
+    # -- handles ---------------------------------------------------------
+
+    def charger(self, category: str) -> CpuCharger:
+        """The interned :class:`CpuCharger` handle for *category*."""
+        ch = self._chargers.get(category)
+        if ch is None:
+            ch = CpuCharger(self, category)
+            self._chargers[category] = ch
+        return ch
 
     def charge(self, category: str, amount: float) -> None:
         if amount < 0:
             raise ValueError("cannot charge negative CPU time")
-        self.busy_by_category[category] += amount
-        self.total_busy_ever += amount
+        self.charger(category).add(amount)
+
+    @property
+    def total_busy_ever(self) -> float:
+        """Busy seconds since the start of the run, all categories.
+
+        A monotonic clock of "work done by the machine" (the cache
+        model measures other threads' progress with it).  Commits any
+        deferred coalesced-stint charges first, so mid-stint reads see
+        exactly what the sliced schedule would have accumulated.
+        """
+        if self._co_sources:
+            self.co_sync()
+        return self._busy_ever
+
+    @property
+    def busy_by_category(self) -> Dict[str, float]:
+        """Busy seconds per category since the start of the run.
+
+        A read view (a fresh ``defaultdict(float)``, so missing
+        categories read as 0.0 like the original storage did); mutate
+        through :meth:`charge` / :meth:`charger`.
+        """
+        if self._co_sources:
+            self.co_sync()
+        view: Dict[str, float] = defaultdict(float)
+        for ch in self._order:
+            view[ch.category] = ch.value
+        return view
+
+    # -- coalesced-stint commit protocol ---------------------------------
+
+    def co_register(self, source: Any) -> None:
+        """Register a coalesced-stint cursor.
+
+        *source* must expose ``sim`` (for ``now``), ``next_t`` /
+        ``prev_t`` (time of its next uncommitted slice boundary and of
+        the boundary before it), ``exhausted``, and
+        ``commit_next(acct)`` advancing one boundary.
+        """
+        self._co_reg += 1
+        source.reg = self._co_reg
+        self._co_sources.append(source)
+
+    def co_sync(self) -> None:
+        """Commit every deferred slice boundary with ``t <= now``.
+
+        Boundaries across concurrent cursors merge in
+        ``(t, prev_t, reg)`` order: time first; ties (structurally
+        aligned stints that started the same instant with equal slice
+        patterns) resolve by scheduling time then registration order,
+        which matches the sliced schedule's event-sequence order.
+        """
+        sources = self._co_sources
+        if not sources:
+            return
+        now = sources[0].sim.now
+        if len(sources) == 1:
+            src = sources[0]
+            while not src.exhausted and src.next_t <= now:
+                src.commit_next(self)
+            if src.exhausted:
+                self._co_sources = []
+            return
+        while True:
+            best = None
+            best_key = None
+            for src in sources:
+                if src.exhausted or src.next_t > now:
+                    continue
+                key = (src.next_t, src.prev_t, src.reg)
+                if best is None or key < best_key:
+                    best = src
+                    best_key = key
+            if best is None:
+                break
+            best.commit_next(self)
+        if any(src.exhausted for src in sources):
+            self._co_sources = [s for s in sources if not s.exhausted]
+
+    # -- windows ---------------------------------------------------------
 
     def mark_window_start(self, now: float) -> None:
         """Freeze warm-up totals; subsequent queries subtract them."""
+        if self._co_sources:
+            self.co_sync()
         self.window_start = now
-        self._warmup_by_category = dict(self.busy_by_category)
+        self._warmup_by_category = {ch.category: ch.value
+                                    for ch in self._order}
 
     def windowed(self) -> Dict[str, float]:
         """Busy seconds per category inside the measurement window."""
+        if self._co_sources:
+            self.co_sync()
+        warmup = self._warmup_by_category
         return {
-            cat: total - self._warmup_by_category.get(cat, 0.0)
-            for cat, total in self.busy_by_category.items()
+            ch.category: ch.value - warmup.get(ch.category, 0.0)
+            for ch in self._order
         }
 
     def total_busy(self) -> float:
@@ -428,7 +597,8 @@ class Metrics:
     """Shared sink for every measurement a simulation produces."""
 
     def __init__(self, latency_sketch: bool = False) -> None:
-        self.counters: Dict[str, float] = defaultdict(float)
+        self._lazy: Dict[str, float] = defaultdict(float)
+        self._handles: Dict[str, Counter] = {}
         self._warmup_counters: Dict[str, float] = {}
         self.latencies: Dict[str, LatencyRecorder] = {}
         self.series: Dict[str, TimeSeries] = {}
@@ -439,15 +609,48 @@ class Metrics:
 
     # -- counters -------------------------------------------------------
 
+    def counter(self, name: str) -> Counter:
+        """The interned :class:`Counter` handle for *name*.
+
+        Any value accumulated through :meth:`add` before the handle was
+        created migrates into the handle, so interning never loses or
+        duplicates counts.
+        """
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = Counter(name, self._lazy.pop(name, 0.0))
+            self._handles[name] = handle
+        return handle
+
     def add(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] += amount
+        handle = self._handles.get(name)
+        if handle is not None:
+            handle.value += amount
+        else:
+            self._lazy[name] += amount
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """Merged name → value view over lazy counters and handles.
+
+        Handle names appear as soon as :meth:`counter` interns them
+        (at 0.0 before the first bump), lazy names on first
+        :meth:`add`.  Read-only: a fresh dict per access.
+        """
+        view = dict(self._lazy)
+        for name, handle in self._handles.items():
+            view[name] = handle.value
+        return view
 
     def count(self, name: str) -> float:
         """Counter value within the measurement window."""
-        return self.counters.get(name, 0.0) - self._warmup_counters.get(name, 0.0)
+        return self.raw_count(name) - self._warmup_counters.get(name, 0.0)
 
     def raw_count(self, name: str) -> float:
-        return self.counters.get(name, 0.0)
+        handle = self._handles.get(name)
+        if handle is not None:
+            return handle.value
+        return self._lazy.get(name, 0.0)
 
     # -- latencies / series ----------------------------------------------
 
@@ -471,7 +674,7 @@ class Metrics:
     def mark_window_start(self, now: float) -> None:
         """Called by the harness when warm-up ends."""
         self.window_start = now
-        self._warmup_counters = dict(self.counters)
+        self._warmup_counters = self.counters
         self.cpu.mark_window_start(now)
         for recorder in self.latencies.values():
             recorder.start_at = now

@@ -73,7 +73,8 @@ class InboxEndpoint(Endpoint):
     completion, modelling ``read()`` returning with data.
     """
 
-    __slots__ = ("sim", "cpu", "params", "metrics", "queue")
+    __slots__ = ("sim", "cpu", "params", "metrics", "queue",
+                 "_blocking_wakes")
 
     def __init__(self, sim: Simulator, cpu: Cpu, params: CostParams,
                  metrics: Optional[Metrics] = None) -> None:
@@ -82,6 +83,7 @@ class InboxEndpoint(Endpoint):
         self.params = params
         self.metrics = metrics if metrics is not None else cpu.metrics
         self.queue = Queue(sim)
+        self._blocking_wakes = self.metrics.counter("net.blocking_recv_wakes")
 
     def deliver(self, message: Any) -> None:
         self.queue.put(message)
@@ -97,7 +99,7 @@ class InboxEndpoint(Endpoint):
         blocked = not get_event.triggered
         message = yield get_event
         if blocked:
-            self.metrics.add("net.blocking_recv_wakes")
+            self._blocking_wakes.add()
             yield self.cpu.execute(thread, self.params.futex_cost, "lock")
         yield self.cpu.execute(thread, self.params.recv_syscall_cost, "syscall")
         return message
@@ -113,7 +115,8 @@ class Connection:
     """
 
     __slots__ = ("sim", "metrics", "params", "latency", "cid",
-                 "endpoint_a", "endpoint_b", "faults")
+                 "endpoint_a", "endpoint_b", "faults",
+                 "_messages", "_bytes")
 
     def __init__(self, sim: Simulator, metrics: Metrics, params: CostParams,
                  endpoint_a: Optional[Endpoint] = None,
@@ -131,6 +134,9 @@ class Connection:
         #: a faulty cluster consult it for latency spikes and message
         #: loss (both directions).  None on healthy links.
         self.faults = faults
+        # Interned per-message counters (shared handles across conns).
+        self._messages = metrics.counter("net.messages")
+        self._bytes = metrics.counter("net.bytes")
 
     def attach(self, side: str, endpoint: Endpoint) -> None:
         """Attach *endpoint* to side ``"a"`` or ``"b"``."""
@@ -162,8 +168,8 @@ class Connection:
         target = self.endpoint_b if to_side == "b" else self.endpoint_a
         if target is None:
             raise RuntimeError(f"connection {self.cid}: side {to_side} not attached")
-        self.metrics.add("net.messages")
-        self.metrics.add("net.bytes", size)
+        self._messages.add()
+        self._bytes.add(size)
         delay = self.latency + self.params.transfer_time(size)
         if self.faults is not None:
             if self.faults.drop_message():

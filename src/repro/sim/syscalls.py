@@ -66,6 +66,11 @@ class Channel:
 class Selector:
     """One select()/epoll instance, used by exactly one reactor thread."""
 
+    __slots__ = ("sim", "cpu", "metrics", "params", "name", "_ready",
+                 "_waiter", "_task_channel", "_wakeups", "_selects",
+                 "_events", "_spurious", "_total_selects", "_total_events",
+                 "_total_spurious")
+
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, name: str) -> None:
         self.sim = sim
@@ -76,6 +81,15 @@ class Selector:
         self._ready: Deque[ReadyEvent] = deque()
         self._waiter: Optional[Event] = None
         self._task_channel = Channel(self, "task")
+        # Interned per-select counters: the select loop is the hottest
+        # metrics producer in every reactor driver.
+        self._wakeups = metrics.counter(f"selector.{name}.wakeups")
+        self._selects = metrics.counter(f"selector.{name}.selects")
+        self._events = metrics.counter(f"selector.{name}.events")
+        self._spurious = metrics.counter(f"selector.{name}.spurious")
+        self._total_selects = metrics.counter("selector.total_selects")
+        self._total_events = metrics.counter("selector.total_events")
+        self._total_spurious = metrics.counter("selector.total_spurious")
 
     # -- registration ------------------------------------------------------
 
@@ -97,7 +111,7 @@ class Selector:
         Charges the wakeup-fd write to *thread* (pass None to skip the
         charge, e.g. for harness-injected events).
         """
-        self.metrics.add(f"selector.{self.name}.wakeups")
+        self._wakeups.add()
         if thread is not None:
             yield self.cpu.execute(
                 thread, self.params.selector_wakeup_cost, "syscall")
@@ -124,8 +138,8 @@ class Selector:
             else:
                 # Netty's loop does a selectNow() probe before blocking
                 # in select(timeout): an extra kernel crossing per loop.
-                self.metrics.add(f"selector.{self.name}.selects")
-                self.metrics.add("selector.total_selects")
+                self._selects.add()
+                self._total_selects.add()
                 yield self.cpu.execute(
                     thread, self.params.select_base_cost, "select")
                 # (If data raced in during the probe, the waiter has
@@ -140,10 +154,10 @@ class Selector:
                     # Spurious wakeup: kernel crossing with nothing to show.
                     if self._waiter is waiter:
                         self._waiter = None
-                    self.metrics.add(f"selector.{self.name}.selects")
-                    self.metrics.add(f"selector.{self.name}.spurious")
-                    self.metrics.add("selector.total_selects")
-                    self.metrics.add("selector.total_spurious")
+                    self._selects.add()
+                    self._spurious.add()
+                    self._total_selects.add()
+                    self._total_spurious.add()
                     yield self.cpu.execute(
                         thread, self.params.select_base_cost, "select")
                     return []
@@ -159,10 +173,10 @@ class Selector:
             batch = list(self._ready)
             self._ready.clear()
         n = len(batch)
-        self.metrics.add(f"selector.{self.name}.selects")
-        self.metrics.add(f"selector.{self.name}.events", n)
-        self.metrics.add("selector.total_selects")
-        self.metrics.add("selector.total_events", n)
+        self._selects.add()
+        self._events.add(n)
+        self._total_selects.add()
+        self._total_events.add(n)
         cost = self.params.select_base_cost + self.params.select_per_event_cost * n
         yield self.cpu.execute(thread, cost, "select")
         return batch

@@ -52,6 +52,11 @@ class SimThread:
         """Shorthand for ``cpu.execute(self, amount, category)``."""
         return self.cpu.execute(self, amount, category)
 
+    def execute_then(self, amount: float, category: str = "app",
+                     fn=None, arg=None) -> None:
+        """Shorthand for ``cpu.execute_then`` — charge with no Event."""
+        self.cpu.execute_then(self, amount, category, fn, arg)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimThread {self.name}>"
 
@@ -66,7 +71,9 @@ class Mutex:
     (futex_wake).  Uncontended operations are free, as on real hardware.
     """
 
-    __slots__ = ("sim", "cpu", "metrics", "params", "name", "owner", "_waiters")
+    __slots__ = ("sim", "cpu", "metrics", "params", "name", "owner",
+                 "_waiters", "_contended", "_contended_total",
+                 "_wait_time_total", "_barged")
 
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, name: str = "mutex") -> None:
@@ -77,6 +84,11 @@ class Mutex:
         self.name = name
         self.owner: Optional[SimThread] = None
         self._waiters: Deque[Event] = deque()
+        # Interned contention counters: no f-string per contended acquire.
+        self._contended = metrics.counter(f"mutex.{name}.contended")
+        self._contended_total = metrics.counter("mutex.contended_total")
+        self._wait_time_total = metrics.counter("mutex.wait_time_total")
+        self._barged = metrics.counter(f"mutex.{name}.barged")
 
     @property
     def locked(self) -> bool:
@@ -101,8 +113,8 @@ class Mutex:
         if self.owner is None:
             self.owner = thread
             return
-        self.metrics.add(f"mutex.{self.name}.contended")
-        self.metrics.add("mutex.contended_total")
+        self._contended.add()
+        self._contended_total.add()
         start = self.sim.now
         while True:
             waiter = Event(self.sim)
@@ -112,11 +124,11 @@ class Mutex:
             yield self.cpu.execute(thread, self.params.futex_cost, "lock")
             if self.owner is None:
                 self.owner = thread
-                self.metrics.add("mutex.wait_time_total", self.sim.now - start)
+                self._wait_time_total.add(self.sim.now - start)
                 return
             # Barged by another thread between wake-up and running: wait
             # again (counted so pathological convoys are observable).
-            self.metrics.add(f"mutex.{self.name}.barged")
+            self._barged.add()
 
     def release(self, thread: SimThread):
         """Coroutine: release the lock and wake the next waiter, if any."""
@@ -155,6 +167,10 @@ def locked_section(thread: SimThread, mutex: Mutex, hold: float,
 class _PoolBase:
     """Shared machinery of fixed and on-demand worker pools."""
 
+    __slots__ = ("sim", "cpu", "metrics", "params", "name", "tasks",
+                 "mutex", "worker_count", "idle_count", "busy_count",
+                 "_submitted", "_completed")
+
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, name: str) -> None:
         self.sim = sim
@@ -168,13 +184,16 @@ class _PoolBase:
         self.worker_count = 0
         self.idle_count = 0
         self.busy_count = 0
+        # Interned per-task counters.
+        self._submitted = metrics.counter(f"pool.{name}.submitted")
+        self._completed = metrics.counter(f"pool.{name}.completed")
 
     def submit(self, thread: SimThread, task: Task):
         """Coroutine: enqueue *task* from *thread* (charges the critical
         section on the submitter)."""
         yield from locked_section(
             thread, self.mutex, self.params.queue_hold_time, "app")
-        self.metrics.add(f"pool.{self.name}.submitted")
+        self._submitted.add()
         self._before_enqueue(thread)
         self.tasks.put(task)
 
@@ -189,11 +208,13 @@ class _PoolBase:
             yield from task(worker)
         finally:
             self.busy_count -= 1
-        self.metrics.add(f"pool.{self.name}.completed")
+        self._completed.add()
 
 
 class FixedPool(_PoolBase):
     """A pre-defined pool of *size* workers (Type-1 async drivers)."""
+
+    __slots__ = ("size",)
 
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, size: int, name: str = "fixed") -> None:
@@ -227,6 +248,9 @@ class OnDemandPool(_PoolBase):
     terminate after :attr:`CostParams.aio_pool_idle_timeout` idle.
     """
 
+    __slots__ = ("max_size", "idle_timeout", "_worker_seq",
+                 "_spawned", "_terminated")
+
     def __init__(self, sim: Simulator, cpu: Cpu, metrics: Metrics,
                  params: CostParams, max_size: Optional[int] = None,
                  idle_timeout: Optional[float] = None,
@@ -236,6 +260,8 @@ class OnDemandPool(_PoolBase):
         self.idle_timeout = (idle_timeout if idle_timeout is not None
                              else params.aio_pool_idle_timeout)
         self._worker_seq = itertools.count(1)
+        self._spawned = metrics.counter(f"pool.{name}.spawned")
+        self._terminated = metrics.counter(f"pool.{name}.terminated")
 
     def _before_enqueue(self, thread: SimThread) -> None:
         if self.idle_count == 0 and self.worker_count < self.max_size:
@@ -244,7 +270,7 @@ class OnDemandPool(_PoolBase):
     def _spawn(self) -> None:
         worker = SimThread(self.cpu, name=f"{self.name}-worker-{next(self._worker_seq)}")
         self.worker_count += 1
-        self.metrics.add(f"pool.{self.name}.spawned")
+        self._spawned.add()
         self.sim.process(self._worker_loop(worker), name=worker.name)
 
     def _worker_loop(self, worker: SimThread):
@@ -258,7 +284,7 @@ class OnDemandPool(_PoolBase):
             except QueueTimeout:
                 self.idle_count -= 1
                 self.worker_count -= 1
-                self.metrics.add(f"pool.{self.name}.terminated")
+                self._terminated.add()
                 return
             self.idle_count -= 1
             yield from self._run_task(worker, task)

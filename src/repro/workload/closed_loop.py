@@ -44,6 +44,13 @@ class ClosedLoopWorkload:
         self.name = name
         self._rng = rng_streams.stream(f"{name}.requests")
         self.started = False
+        # Interned per-completion instruments; the per-class ones are
+        # interned on first use so recorder creation order (and with it
+        # per-class report order) is unchanged.
+        self._completed = metrics.counter("client.completed")
+        self._rt = metrics.latency("client.rt")
+        self._completed_by_klass: dict = {}
+        self._rt_by_klass: dict = {}
 
     def start(self) -> None:
         """Open one connection per user and launch the user loops."""
@@ -64,7 +71,9 @@ class ClosedLoopWorkload:
         while True:
             request = self.profile.make_request(self._rng)
             request.sent_at = self.sim.now
-            yield from conn.send(None, request, request.wire_size, to_side="b")
+            # Client machines are unmodelled: a thread-less send never
+            # yields, so skip the generator frame and transmit directly.
+            conn.transmit(request, request.wire_size, "b")
             response = yield inbox.get()
             if not isinstance(response, HttpResponse):
                 raise TypeError(f"client received non-response: {response!r}")
@@ -73,7 +82,16 @@ class ClosedLoopWorkload:
     def _record(self, request, response: HttpResponse) -> None:
         now = self.sim.now
         rt = now - request.sent_at
-        self.metrics.add("client.completed")
-        self.metrics.add(f"client.completed.{request.klass}")
-        self.metrics.latency("client.rt").record(now, rt)
-        self.metrics.latency(f"client.rt.{request.klass}").record(now, rt)
+        klass = request.klass
+        self._completed.add()
+        by_klass = self._completed_by_klass.get(klass)
+        if by_klass is None:
+            by_klass = self.metrics.counter(f"client.completed.{klass}")
+            self._completed_by_klass[klass] = by_klass
+        by_klass.add()
+        self._rt.record(now, rt)
+        rt_rec = self._rt_by_klass.get(klass)
+        if rt_rec is None:
+            rt_rec = self.metrics.latency(f"client.rt.{klass}")
+            self._rt_by_klass[klass] = rt_rec
+        rt_rec.record(now, rt)

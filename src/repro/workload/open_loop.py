@@ -46,6 +46,12 @@ class PoissonWorkload:
         self._rng = rng_streams.stream(f"{name}.requests")
         self._think_rng = rng_streams.stream(f"{name}.think")
         self.started = False
+        # Interned per-completion instruments; per-class ones stay
+        # first-use ordered (see ClosedLoopWorkload).
+        self._completed = metrics.counter("client.completed")
+        self._rt = metrics.latency("client.rt")
+        self._completed_by_klass: dict = {}
+        self._rt_by_klass: dict = {}
 
     @property
     def offered_rate(self) -> float:
@@ -70,15 +76,25 @@ class PoissonWorkload:
         while True:
             request = self.profile.make_request(self._rng)
             request.sent_at = self.sim.now
-            yield from conn.send(None, request, request.wire_size, to_side="b")
+            # Thread-less send never yields: transmit directly.
+            conn.transmit(request, request.wire_size, "b")
             response = yield inbox.get()
             if not isinstance(response, HttpResponse):
                 raise TypeError(f"client received non-response: {response!r}")
             now = self.sim.now
             rt = now - request.sent_at
-            self.metrics.add("client.completed")
-            self.metrics.add(f"client.completed.{request.klass}")
-            self.metrics.latency("client.rt").record(now, rt)
-            self.metrics.latency(f"client.rt.{request.klass}").record(now, rt)
+            klass = request.klass
+            self._completed.add()
+            by_klass = self._completed_by_klass.get(klass)
+            if by_klass is None:
+                by_klass = self.metrics.counter(f"client.completed.{klass}")
+                self._completed_by_klass[klass] = by_klass
+            by_klass.add()
+            self._rt.record(now, rt)
+            rt_rec = self._rt_by_klass.get(klass)
+            if rt_rec is None:
+                rt_rec = self.metrics.latency(f"client.rt.{klass}")
+                self._rt_by_klass[klass] = rt_rec
+            rt_rec.record(now, rt)
             yield self.sim.timeout(
                 self._think_rng.expovariate(1.0 / self.think_time_mean))

@@ -1,0 +1,278 @@
+"""Coalesced-stint scheduling must be invisible.
+
+When a core starts a stint with an empty run queue, the scheduler
+replaces per-quantum slice events with one completion event
+(``Cpu(coalesce=True)``, the default).  The invariant is strict
+equality, not approximation: every observable — completion instants,
+context-switch counts, per-category busy seconds, the time-weighted
+load integral, windowed shares — must be **float-for-float identical**
+to the per-quantum schedule, at the end of the run *and* at any
+observation instant in the middle of a coalesced stint.
+"""
+
+import random
+
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.params import CostParams
+from repro.sim.threads import SimThread
+
+#: Default quantum is 1 ms; amounts below span 1..12 quanta.
+Q = CostParams().quantum
+
+
+def run_workload(script, cores=2, coalesce=True, probe_times=(),
+                 window_at=None, use_execute_then=False):
+    """Run *script* and capture every scheduler observable.
+
+    *script* is one ``(start_delay, [(amount, category), ...])`` tuple
+    per thread.  *probe_times* are instants at which mid-run state is
+    sampled (hitting a coalesced stint mid-flight forces the deferred
+    charges to commit).  *window_at* marks the measurement window at
+    that instant, like the harness's warm-up cut.
+    """
+    sim = Simulator()
+    metrics = Metrics()
+    cpu = Cpu(sim, metrics, CostParams(), cores=cores, coalesce=coalesce)
+    completions = []
+    probes = []
+
+    def runner(tid, start_delay, jobs):
+        thread = SimThread(cpu)
+        if start_delay:
+            yield sim.timeout(start_delay)
+        for jid, (amount, category) in enumerate(jobs):
+            if use_execute_then:
+                # Bridge the callback back to an awaitable event: the
+                # callback fires at the same instant execute()'s event
+                # would succeed, so submission times stay identical.
+                from repro.sim.kernel import Event
+                done = Event(sim)
+                cpu.execute_then(thread, amount, category,
+                                 lambda _: done.succeed(), None)
+                yield done
+            else:
+                yield cpu.execute(thread, amount, category)
+            completions.append((tid, jid, sim.now))
+
+    for tid, (start_delay, jobs) in enumerate(script):
+        sim.process(runner(tid, start_delay, jobs))
+
+    def probe(_):
+        acct = metrics.cpu
+        probes.append((sim.now, acct.total_busy_ever,
+                       dict(acct.busy_by_category),
+                       cpu.load_snapshot(), cpu.runnable_count))
+
+    for when in probe_times:
+        sim.call_later(when, probe)
+    if window_at is not None:
+        sim.call_later(window_at,
+                       lambda _: metrics.mark_window_start(sim.now))
+    sim.run()
+    acct = metrics.cpu
+    return {
+        "completions": completions,
+        "probes": probes,
+        "counters": metrics.counters,
+        "busy": dict(acct.busy_by_category),
+        "total_busy_ever": acct.total_busy_ever,
+        "windowed": acct.windowed(),
+        "load_integral": cpu.load_snapshot(),
+        "end_time": sim.now,
+    }
+
+
+def assert_identical(script, **kw):
+    """Assert the coalesced run equals the sliced run exactly."""
+    sliced = run_workload(script, coalesce=False, **kw)
+    coalesced = run_workload(script, coalesce=True, **kw)
+    assert coalesced == sliced
+    return coalesced
+
+
+class TestScriptedIdentity:
+    def test_single_long_job(self):
+        result = assert_identical([(0.0, [(8 * Q, "app")])], cores=1)
+        assert len(result["completions"]) == 1
+
+    def test_sub_quantum_job_and_exact_quantum_job(self):
+        assert_identical([(0.0, [(0.4 * Q, "app"), (Q, "app")])], cores=1)
+
+    def test_parallel_uncontended_threads(self):
+        assert_identical([(0.0, [(8 * Q, "app")]),
+                          (0.0, [(11 * Q, "io")])], cores=2)
+
+    def test_decoalesce_on_midstint_arrival(self):
+        """A second thread waking mid-stint must tear the coalesced
+        stint down and preempt on the original quantum boundary."""
+        assert_identical([(0.0, [(10 * Q, "app")]),
+                          (3.5 * Q, [(4 * Q, "app")])], cores=1)
+
+    def test_decoalesce_then_recoalesce(self):
+        """After the interloper finishes, the long job's next stint
+        is uncontended again and re-coalesces."""
+        assert_identical([(0.0, [(12 * Q, "app")]),
+                          (2.3 * Q, [(0.5 * Q, "app")])], cores=1)
+
+    def test_three_threads_two_cores_staggered(self):
+        assert_identical([(0.0, [(6 * Q, "app"), (3 * Q, "app")]),
+                          (0.7 * Q, [(9 * Q, "io")]),
+                          (4.1 * Q, [(5 * Q, "app")])], cores=2)
+
+    def test_back_to_back_jobs_same_thread(self):
+        assert_identical([(0.0, [(3 * Q, "app"), (5 * Q, "io"),
+                                 (2 * Q, "app")])], cores=1)
+
+    def test_zero_amount_jobs_interleaved(self):
+        assert_identical([(0.0, [(3 * Q, "app"), (0.0, "app"),
+                                 (4 * Q, "app")]),
+                          (1.2 * Q, [(0.0, "io"), (2 * Q, "io")])],
+                         cores=1)
+
+
+class TestMidStintObservation:
+    def test_probes_inside_coalesced_stint(self):
+        """Reads of busy time mid-stint commit the deferred slice
+        charges — totals at each probe instant must match the sliced
+        schedule's eagerly-charged totals."""
+        result = assert_identical(
+            [(0.0, [(10 * Q, "app")])], cores=1,
+            probe_times=[1.5 * Q, 4.6 * Q, 7.25 * Q])
+        assert len(result["probes"]) == 3
+        # The probes really did observe partial progress.
+        busies = [p[1] for p in result["probes"]]
+        assert busies == sorted(busies)
+        assert 0.0 < busies[0] < busies[-1] < 10 * Q
+
+    def test_probes_with_two_cpus_interleaved_stints(self):
+        assert_identical(
+            [(0.0, [(9 * Q, "app")]), (0.25 * Q, [(7 * Q, "io")])],
+            cores=2, probe_times=[2.45 * Q, 5.1 * Q])
+
+    def test_window_mark_inside_stint(self):
+        """The harness's warm-up cut can land mid-stint; windowed
+        shares must still match the sliced schedule."""
+        result = assert_identical(
+            [(0.0, [(10 * Q, "app"), (4 * Q, "app")])], cores=1,
+            window_at=6.5 * Q)
+        assert result["windowed"]["app"] < result["busy"]["app"]
+
+
+class TestExecuteThen:
+    def test_callback_fires_at_slice_schedule_instant(self):
+        assert_identical([(0.0, [(8 * Q, "app")])], cores=1,
+                         use_execute_then=True)
+
+    def test_execute_then_matches_execute_accounting(self):
+        script = [(0.0, [(6 * Q, "app"), (3 * Q, "io")]),
+                  (1.1 * Q, [(5 * Q, "app")])]
+        via_event = run_workload(script, cores=1, coalesce=True)
+        via_callback = run_workload(script, cores=1, coalesce=True,
+                                    use_execute_then=True)
+        assert via_callback == via_event
+
+    def test_pure_charge_without_callback(self):
+        sim = Simulator()
+        metrics = Metrics()
+        cpu = Cpu(sim, metrics, CostParams(), cores=1)
+        cpu.execute_then(SimThread(cpu), 3 * Q, "app")
+        sim.run()
+        assert metrics.cpu.busy_by_category["app"] == 3 * Q
+
+
+class TestZeroFastPath:
+    def _run(self, with_zeros):
+        sim = Simulator()
+        metrics = Metrics()
+        cpu = Cpu(sim, metrics, CostParams(), cores=1)
+        thread = SimThread(cpu)
+
+        def proc():
+            yield cpu.execute(thread, 2 * Q, "app")
+            if with_zeros:
+                for _ in range(50):
+                    yield cpu.execute(thread, 0.0, "app")
+            yield cpu.execute(thread, 3 * Q, "app")
+
+        sim.process(proc())
+        sim.run()
+        return sim, metrics, cpu
+
+    def test_zero_work_leaves_accounting_unchanged(self):
+        """Zero-length executes between real jobs must not add context
+        switches, busy time, or load-integral area."""
+        _, m_plain, cpu_plain = self._run(with_zeros=False)
+        _, m_zeros, cpu_zeros = self._run(with_zeros=True)
+        assert m_zeros.counters == m_plain.counters
+        assert dict(m_zeros.cpu.busy_by_category) == \
+            dict(m_plain.cpu.busy_by_category)
+        assert cpu_zeros.load_snapshot() == cpu_plain.load_snapshot()
+
+    def test_zero_work_same_instant(self):
+        sim = Simulator()
+        metrics = Metrics()
+        cpu = Cpu(sim, metrics, CostParams(), cores=1)
+        thread = SimThread(cpu)
+        instants = []
+
+        def proc():
+            yield cpu.execute(thread, 0.0, "app")
+            instants.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert instants == [0.0]
+
+    def test_fall_through_when_core_owes_a_switch(self):
+        """When the only idle core last ran another thread, the zero
+        execute takes the scheduled path and pays the context switch,
+        exactly as before the fast path existed."""
+        sim = Simulator()
+        metrics = Metrics()
+        cpu = Cpu(sim, metrics, CostParams(), cores=1)
+        a, b = SimThread(cpu), SimThread(cpu)
+        done = []
+
+        def warm():
+            yield cpu.execute(a, Q, "app")
+            done.append("a")
+
+        def zero():
+            yield sim.timeout(2 * Q)  # after A finished: core.last_thread is A
+            yield cpu.execute(b, 0.0, "app")
+            done.append("b")
+
+        sim.process(warm())
+        sim.process(zero())
+        sim.run()
+        assert done == ["a", "b"]
+        assert metrics.counters["cpu.app.ctx_switches"] == 1.0
+        assert metrics.cpu.busy_by_category["ctx_switch"] > 0.0
+
+
+class TestRandomizedIdentity:
+    def test_random_workloads_match_slice_for_slice(self):
+        """Fuzz the schedule space: random thread counts, stagger,
+        core counts, categories, and amounts spanning zero, sub-, and
+        multi-quantum jobs.  Every draw must be float-identical."""
+        for seed in range(12):
+            rng = random.Random(1000 + seed)
+            cores = rng.randint(1, 3)
+            script = []
+            for _ in range(rng.randint(1, 5)):
+                jobs = []
+                for _ in range(rng.randint(1, 4)):
+                    kind = rng.random()
+                    if kind < 0.15:
+                        amount = 0.0
+                    elif kind < 0.45:
+                        amount = rng.uniform(0.05, 0.999) * Q
+                    else:
+                        amount = rng.uniform(1.0, 12.0) * Q
+                    jobs.append((amount, rng.choice(["app", "io"])))
+                script.append((rng.uniform(0.0, 6.0) * Q, jobs))
+            probe_times = sorted(rng.uniform(0.5, 15.0) * Q
+                                 for _ in range(3))
+            assert_identical(script, cores=cores, probe_times=probe_times)

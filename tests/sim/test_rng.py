@@ -1,0 +1,103 @@
+"""Reproducibility guarantees of the named RNG streams.
+
+``tests/sim/test_rng_params.py`` covers the basic stream API; this
+module pins the properties the experiment harness leans on when it
+fans grid points out to worker processes: the same (seed, name) pair
+must yield the same draws in *any* process, regardless of hash
+randomisation, platform defaults, or how many unrelated streams were
+created first.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.sim.rng import RngStreams
+
+#: First three draws of stream "svc" under root seed 42 — pinned
+#: literally so a change to the seed-derivation scheme (which would
+#: silently invalidate every golden exhibit) fails loudly.
+PINNED_SVC_DRAWS = [0.5576646185147413, 0.23899077599178564,
+                    0.28066377318049096]
+
+#: Seed of RngStreams(42).spawn("shard-0") under the sha256 derivation.
+PINNED_SPAWN_SEED = 5057745982613045017
+
+
+class TestPinnedDerivation:
+    def test_stream_draws_pinned(self):
+        stream = RngStreams(42).stream("svc")
+        assert [stream.random() for _ in range(3)] == PINNED_SVC_DRAWS
+
+    def test_spawn_seed_pinned(self):
+        assert RngStreams(42).spawn("shard-0").seed == PINNED_SPAWN_SEED
+
+
+class TestSpawn:
+    def test_spawn_chain_is_deterministic(self):
+        a = RngStreams(7).spawn("rack-1").spawn("shard-3").stream("svc")
+        b = RngStreams(7).spawn("rack-1").spawn("shard-3").stream("svc")
+        assert [a.random() for _ in range(8)] == \
+               [b.random() for _ in range(8)]
+
+    def test_child_streams_differ_from_parent(self):
+        parent = RngStreams(7)
+        child = parent.spawn("shard-0")
+        assert [parent.stream("svc").random() for _ in range(4)] != \
+               [child.stream("svc").random() for _ in range(4)]
+
+    def test_siblings_are_independent(self):
+        parent = RngStreams(7)
+        a = parent.spawn("shard-0").stream("svc")
+        b = parent.spawn("shard-1").stream("svc")
+        assert [a.random() for _ in range(4)] != \
+               [b.random() for _ in range(4)]
+
+    def test_spawning_does_not_perturb_parent_streams(self):
+        plain = RngStreams(7)
+        before = [plain.stream("svc").random() for _ in range(5)]
+        spawning = RngStreams(7)
+        spawning.spawn("shard-0").stream("svc").random()
+        after = [spawning.stream("svc").random() for _ in range(5)]
+        assert before == after
+
+
+class TestCrossProcess:
+    """Draws must be identical across interpreter processes.
+
+    The parallel exhibit runner re-creates RngStreams inside spawned
+    workers; if stream derivation depended on anything process-local
+    (hash randomisation being the classic trap for string-keyed
+    seeding), serial and parallel runs would silently diverge.
+    """
+
+    SCRIPT = (
+        "from repro.sim.rng import RngStreams\n"
+        "r = RngStreams(42)\n"
+        "svc = r.stream('svc')\n"
+        "child = r.spawn('shard-0').stream('svc')\n"
+        "print(repr([svc.random() for _ in range(3)]))\n"
+        "print(repr([child.random() for _ in range(3)]))\n"
+    )
+
+    def _run(self, hashseed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(__file__),
+                                     "..", "..", "src"),
+                        env.get("PYTHONPATH")) if p)
+        out = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT], env=env,
+            capture_output=True, text=True, check=True)
+        return out.stdout
+
+    def test_draws_stable_across_processes_and_hashseeds(self):
+        runs = [self._run(hashseed) for hashseed in ("0", "1", "31337")]
+        assert runs[0] == runs[1] == runs[2]
+        in_process = RngStreams(42)
+        svc = in_process.stream("svc")
+        child = in_process.spawn("shard-0").stream("svc")
+        expected = (repr([svc.random() for _ in range(3)]) + "\n"
+                    + repr([child.random() for _ in range(3)]) + "\n")
+        assert runs[0] == expected
