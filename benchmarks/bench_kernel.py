@@ -27,6 +27,11 @@ Measures the hot paths the exhibit harness spends its time in:
   work; ``sched_coalesce_speedup`` is measured separately as the
   median of paired coalesced/sliced runs (robust on noisy runners)
   and pinned to a floor by ``--check``.
+- ``trace_overhead_ratio`` — what 1%-sampled request tracing
+  (``repro.trace``) costs on a real exhibit-shaped run: the median of
+  paired untraced/traced wall-time ratios over identical simulations
+  (tracing adds no kernel events, so the wall ratio *is* the
+  events/sec ratio).  ``--check`` pins it ≥ ``TRACE_OVERHEAD_FLOOR``.
 - ``quick_exhibit_wall_sec`` — one representative end-to-end quick
   exhibit (``tab3``) through :func:`run_exhibit`.
 
@@ -65,6 +70,11 @@ PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0, 99.9)
 #: workload drops below this (the PR's pinned floor; speedup ratios are
 #: machine-portable, so the floor holds on shared CI runners too).
 COALESCE_SPEEDUP_FLOOR = 1.3
+
+#: --check fails if 1%-sampled tracing costs more than 10% events/sec
+#: on the exhibit-shaped workload (ratio of untraced to traced rate
+#: must stay above this; ratios are machine-portable).
+TRACE_OVERHEAD_FLOOR = 0.9
 
 
 def bench_timeouts(processes: int = 50, chain: int = 2000) -> float:
@@ -237,6 +247,36 @@ def bench_scheduler_speedup(rounds: int = 5, threads: int = 2,
     return ratios[len(ratios) // 2]
 
 
+def bench_trace_overhead(rounds: int = 3, duration: float = 0.5) -> float:
+    """1%-sampled tracing cost on a real exhibit-shaped run.
+
+    Median of **paired** untraced/traced wall-time ratios (the pairing
+    logic of :func:`bench_scheduler_speedup`): both runs simulate the
+    identical event sequence — tracing is observation-only and the
+    sampler draws from its own stream — so the wall ratio is exactly
+    the events/sec ratio.  1.0 = free; 0.9 = tracing costs 10%.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    def run(trace):
+        config = ExperimentConfig(
+            server="doubleface", concurrency=16, fanout=5,
+            response_size=100, warmup=0.2, duration=duration, seed=42,
+            trace=trace, trace_sample=0.01)
+        started = time.perf_counter()
+        run_experiment(config)
+        return time.perf_counter() - started
+
+    ratios = []
+    for _ in range(rounds):
+        elapsed_untraced = run(trace=False)
+        elapsed_traced = run(trace=True)
+        ratios.append(elapsed_untraced / elapsed_traced)
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
+
 def bench_quick_exhibit() -> float:
     """Wall-clock seconds for one representative quick exhibit."""
     from repro.experiments.figures import run_exhibit
@@ -291,6 +331,9 @@ def run_all(with_exhibit: bool = True, quick: bool = False,
         }
     metrics["sched_coalesce_speedup"] = round(
         bench_scheduler_speedup(rounds=5 if quick else 7), 2)
+    metrics["trace_overhead_ratio"] = round(
+        bench_trace_overhead(rounds=3 if quick else 5,
+                             duration=0.4 if quick else 0.8), 3)
     if with_exhibit:
         metrics["quick_exhibit_wall_sec"] = round(bench_quick_exhibit(), 2)
     return metrics
@@ -396,6 +439,14 @@ def main(argv=None) -> int:
             print(f"check {'sched_coalesce_speedup':28s} {speedup:5.2f}x "
                   f"(floor {COALESCE_SPEEDUP_FLOOR}x) [{status}]")
             if speedup < COALESCE_SPEEDUP_FLOOR:
+                failures += 1
+        overhead = metrics.get("trace_overhead_ratio")
+        if overhead is not None:
+            status = ("ok" if overhead >= TRACE_OVERHEAD_FLOOR
+                      else "REGRESSED")
+            print(f"check {'trace_overhead_ratio':28s} {overhead:5.3f}x "
+                  f"(floor {TRACE_OVERHEAD_FLOOR}x) [{status}]")
+            if overhead < TRACE_OVERHEAD_FLOOR:
                 failures += 1
         if failures:
             print(f"check FAILED: {failures} metric(s) regressed >20%")

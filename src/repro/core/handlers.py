@@ -78,8 +78,8 @@ class BackendHandler(EventHandler):
             # the response-processing CPU.
             return
         yield from server.process_response_cpu(
-            reactor.thread, message.payload_size)
-        if state.absorb(message.payload_size, server.sim.now):
+            reactor.thread, message.payload_size, response=message)
+        if state.absorb(message.payload_size, server.sim.now, message):
             reactor.inflight.pop(id(state), None)
             yield from server.finish_request(reactor.thread, state)
 

@@ -32,13 +32,19 @@ class DatastoreCluster:
                  schema: Optional[RecordSchema] = None,
                  name: str = "datastore", replicas_per_shard: int = 1,
                  racks: int = 1, replica_policy: str = "primary",
-                 faults: Optional[Any] = None) -> None:
+                 faults: Optional[Any] = None,
+                 cross_rack_extra_latency: float = 0.0,
+                 app_rack: int = 0) -> None:
         if n_shards < 1:
             raise ValueError("cluster needs at least one shard")
         if replicas_per_shard < 1:
             raise ValueError("need at least one replica per shard")
         if racks < 1:
             raise ValueError("cluster needs at least one rack")
+        if cross_rack_extra_latency < 0:
+            raise ValueError("cross_rack_extra_latency must be >= 0")
+        if not 0 <= app_rack < racks:
+            raise ValueError(f"app_rack {app_rack} outside 0..{racks - 1}")
         self.sim = sim
         self.metrics = metrics
         self.params = params
@@ -48,19 +54,26 @@ class DatastoreCluster:
         #: Rack count for correlated-fault topology; replica *r* of
         #: shard *s* lives in rack :func:`rack_of(s, r, racks)`.
         self.racks = racks
+        #: Rack the application server sits in: connections to replicas
+        #: placed in *other* racks pay ``cross_rack_extra_latency`` of
+        #: additional one-way latency (spine-crossing RTT asymmetry).
+        #: The 0.0 default keeps every connection identical to the
+        #: pre-knob behaviour.
+        self.app_rack = app_rack
+        self.cross_rack_extra_latency = cross_rack_extra_latency
         #: Optional :class:`~repro.faults.FaultSchedule` threaded into
         #: every shard server and app<->shard connection.
         self.faults = faults
         #: Shared :class:`~repro.datastore.sharding.ReplicaSelector`
         #: consulted by every driver's initial sends and by the
-        #: resilience policy's retries/hedges.  The ``random`` policy is
-        #: the only one that draws randomness, from its own named
+        #: resilience policy's retries/hedges.  Only the ``random`` and
+        #: ``ewma`` policies draw randomness, from their own named
         #: stream, so ``primary`` (the default) leaves every existing
         #: stream's draw sequence untouched.
         self.replica_selector = ReplicaSelector(
             replica_policy, replicas_per_shard,
             rng=(rng_streams.stream(f"{name}.replica_select")
-                 if replica_policy == "random" else None))
+                 if replica_policy in ("random", "ewma") else None))
         self.partitioner = HashPartitioner(n_shards)
         size_factor = params.large_shard_factor if large_shards else 1.0
         spread_lo, spread_hi = params.shard_speed_spread
@@ -99,11 +112,22 @@ class DatastoreCluster:
     def n_shards(self) -> int:
         return len(self.shards)
 
-    def connection_latency(self) -> float:
-        """One-way latency from the app server to this cluster."""
+    def connection_latency(self, shard_id: int = -1,
+                           replica: int = 0) -> float:
+        """One-way latency from the app server to one cluster server.
+
+        With the default arguments (or ``cross_rack_extra_latency`` at
+        its 0.0 default) this is the flat cluster-wide latency; given a
+        placement it adds the cross-rack penalty when the target
+        replica's rack differs from :attr:`app_rack`.
+        """
         latency = self.params.net_latency
         if self.remote:
             latency += self.params.remote_extra_latency
+        if (self.cross_rack_extra_latency > 0.0 and shard_id >= 0
+                and rack_of(shard_id, replica % self.replicas_per_shard,
+                            self.racks) != self.app_rack):
+            latency += self.cross_rack_extra_latency
         return latency
 
     def connect_shard(self, shard_id: int, replica: int = 0) -> Connection:
@@ -113,7 +137,8 @@ class DatastoreCluster:
         the set size, so failover rotation never indexes out of range).
         """
         server = self.replica_sets[shard_id][replica % self.replicas_per_shard]
-        return server.accept(latency=self.connection_latency())
+        return server.accept(
+            latency=self.connection_latency(shard_id, replica))
 
     def connect_all(self) -> List[Connection]:
         """One connection per shard, in shard order."""

@@ -22,6 +22,7 @@ from ..sim.metrics import Metrics
 from ..sim.network import Connection, Endpoint
 from ..sim.params import CostParams
 from ..sim.resources import Queue
+from ..trace import K_SERVER_QUEUE, K_SERVICE
 from .kvstore import KVStore, ServiceTimeModel
 from .records import RecordSchema, record_size
 
@@ -38,6 +39,10 @@ class _TaggingEndpoint(Endpoint):
         self.conn = conn
 
     def deliver(self, message: Any) -> None:
+        sim = self.conn.sim
+        tracer = sim.tracer
+        if tracer is not None and tracer.trace_of(message) is not None:
+            tracer.stamp_arrival(message, sim.now)
         self.queue.put((self.conn, message))
 
 
@@ -122,6 +127,8 @@ class ShardServer:
                 # Crashed: the query vanishes, like a dead TCP peer.
                 # Recovery is the driver's problem (deadline + retry).
                 self.metrics.add("faults.crash_dropped_queries")
+                if self.sim.tracer is not None:
+                    self.sim.tracer.pop_arrival(query)
                 continue
             multiplier = 1.0
             if faults is not None:
@@ -134,7 +141,20 @@ class ShardServer:
                         self.metrics.add("faults.rack_slowed_queries")
             service_time = self.service_model.draw(
                 query.op, query.response_size, multiplier=multiplier)
+            tracer = self.sim.tracer
+            trace = tracer.trace_of(query) if tracer is not None else None
+            if trace is not None:
+                service_start = self.sim.now
+                arrived = tracer.pop_arrival(query)
+                if arrived is not None:
+                    trace.add(K_SERVER_QUEUE, arrived, service_start,
+                              seq=query.seq, attempt=query.attempt,
+                              shard=self.shard_id, replica=self.replica)
             yield self.sim.timeout(service_time)
+            if trace is not None:
+                trace.add(K_SERVICE, service_start, self.sim.now,
+                          seq=query.seq, attempt=query.attempt,
+                          shard=self.shard_id, replica=self.replica)
             self.queries_served += 1
             self._queries.add()
             self._shard_queries.add()
@@ -149,6 +169,7 @@ class ShardServer:
                 service_time=service_time,
                 attempt=query.attempt,
                 replica=self.replica,
+                sent_at=query.sent_at,
             )
             # thread=None send never yields nor charges: go straight to
             # the wire, skipping the generator frame per response.

@@ -85,7 +85,8 @@ def rack_of(shard_id: int, replica: int, racks: int) -> int:
 
 
 #: Initial-send routing policies :class:`ReplicaSelector` understands.
-REPLICA_POLICIES = ("primary", "round_robin", "least_outstanding", "random")
+REPLICA_POLICIES = ("primary", "round_robin", "least_outstanding", "random",
+                    "ewma")
 
 
 class ReplicaSelector:
@@ -108,14 +109,27 @@ class ReplicaSelector:
       a replica that stops answering — crashed, or drowning in a slow
       rack — accumulates outstanding work and sheds new load.
     - ``random`` — seeded uniform choice (``rng`` required).
+    - ``ewma`` — the replica with the lowest exponentially-weighted
+      moving average of *observed* wire-to-wire response latency wins
+      (C3/Finagle-style latency-aware routing).  Each response's
+      latency is ``arrival - sent_at`` — the request's wire stamp
+      echoed back by the shard — so queueing behind a slow or faulted
+      replica raises its score and sheds new load.  Unsampled replicas
+      score 0.0 and are explored first; ties break by seeded uniform
+      choice (``rng`` required).
 
     Determinism: the only randomness is the injected ``rng`` (a named
-    :class:`~repro.sim.rng.RngStreams` stream); cursor and outstanding
-    state advance in simulator event order, which is single-threaded.
+    :class:`~repro.sim.rng.RngStreams` stream); cursor, outstanding,
+    and EWMA state advance in simulator event order, which is
+    single-threaded.
     """
 
+    #: Smoothing factor for the ``ewma`` policy: weight of the newest
+    #: observation (0.2 remembers roughly the last five responses).
+    EWMA_ALPHA = 0.2
+
     __slots__ = ("policy", "replicas", "_rng", "_cursor", "_alt_cursor",
-                 "_outstanding", "_track")
+                 "_outstanding", "_track", "_ewma")
 
     def __init__(self, policy: str = "primary", replicas_per_shard: int = 1,
                  rng: Optional[random.Random] = None) -> None:
@@ -124,8 +138,8 @@ class ReplicaSelector:
                              f"valid: {', '.join(REPLICA_POLICIES)}")
         if replicas_per_shard < 1:
             raise ValueError("need at least one replica per shard")
-        if policy == "random" and rng is None:
-            raise ValueError("random replica policy needs an rng")
+        if policy in ("random", "ewma") and rng is None:
+            raise ValueError(f"{policy} replica policy needs an rng")
         self.policy = policy
         self.replicas = replicas_per_shard
         self._rng = rng
@@ -135,6 +149,9 @@ class ReplicaSelector:
                        and replicas_per_shard > 1)
         self._outstanding: Dict[int, List[int]] = defaultdict(
             lambda: [0] * replicas_per_shard)
+        #: Per-(shard, replica) latency EWMA; 0.0 = not yet sampled.
+        self._ewma: Dict[int, List[float]] = defaultdict(
+            lambda: [0.0] * replicas_per_shard)
 
     def pick(self, shard_id: int) -> int:
         """Replica for an initial send to *shard_id* (counts it as
@@ -147,6 +164,8 @@ class ReplicaSelector:
             return cursor % self.replicas
         if self.policy == "random":
             return self._rng.randrange(self.replicas)
+        if self.policy == "ewma":
+            return self._best_ewma(shard_id, avoid=-1)
         counts = self._outstanding[shard_id]
         replica = counts.index(min(counts))
         counts[replica] += 1
@@ -170,25 +189,59 @@ class ReplicaSelector:
                           key=lambda r: (counts[r], r))
             counts[replica] += 1
             return replica
+        if self.policy == "ewma":
+            return self._best_ewma(shard_id, avoid=avoid)
         others = [r for r in range(self.replicas) if r != avoid]
         cursor = self._alt_cursor[shard_id]
         self._alt_cursor[shard_id] = cursor + 1
         return others[cursor % len(others)]
 
-    def note_response(self, response) -> None:
-        """Account one shard response arriving at the app server
-        (no-op unless ``least_outstanding`` tracking is on).
+    def _best_ewma(self, shard_id: int, avoid: int) -> int:
+        """Lowest-EWMA replica of *shard_id*, excluding *avoid* (pass
+        -1 to consider the full set); ties break by seeded choice."""
+        scores = self._ewma[shard_id]
+        candidates = [r for r in range(self.replicas) if r != avoid]
+        best = min(scores[r] for r in candidates)
+        ties = [r for r in candidates if scores[r] == best]
+        if len(ties) == 1:
+            return ties[0]
+        return ties[self._rng.randrange(len(ties))]
+
+    def note_response(self, response, now: float = 0.0) -> None:
+        """Account one shard response arriving at the app server at
+        simulated time *now* (no-op unless the policy tracks state).
 
         Synthesised failures (``failed=True``) never left a server, so
-        they don't decrement — a replica that swallows queries keeps
-        its in-flight count and sheds future load.
+        they don't feed either tracker — a replica that swallows
+        queries keeps its in-flight count (``least_outstanding``) or
+        stale score (``ewma``) and sheds future load via deadline
+        pressure instead.
         """
-        if not self._track or response.failed:
+        if response.failed:
             return
-        counts = self._outstanding[response.shard_id]
-        replica = response.replica
-        if counts[replica] > 0:
-            counts[replica] -= 1
+        if self._track:
+            counts = self._outstanding[response.shard_id]
+            replica = response.replica
+            if counts[replica] > 0:
+                counts[replica] -= 1
+            return
+        if self.policy != "ewma":
+            return
+        sent_at = getattr(response, "sent_at", 0.0)
+        if sent_at <= 0.0 or now <= sent_at:
+            return
+        latency = now - sent_at
+        scores = self._ewma[response.shard_id]
+        prev = scores[response.replica]
+        if prev == 0.0:
+            scores[response.replica] = latency
+        else:
+            scores[response.replica] = prev + self.EWMA_ALPHA * (
+                latency - prev)
+
+    def latency_score(self, shard_id: int) -> List[float]:
+        """EWMA latency per replica of *shard_id* (diagnostics)."""
+        return list(self._ewma[shard_id])
 
     def outstanding(self, shard_id: int) -> List[int]:
         """In-flight counts per replica of *shard_id* (diagnostics)."""

@@ -27,6 +27,7 @@ from ..messages import HttpRequest, QueryResponse
 from ..sim.network import ChannelEndpoint, Connection
 from ..sim.syscalls import Selector
 from ..sim.threads import Mutex, OnDemandPool, SimThread, locked_section
+from ..trace import K_PROCESS
 from .base import AppServer, RequestState
 
 __all__ = ["AioBackendServer"]
@@ -128,6 +129,9 @@ class AioBackendServer(AppServer):
             # Allocate the response buffer from the shared pool, then
             # read/decode from the multiplexed connection under its
             # stream lock; only the tail of the processing is lock-free.
+            tracer = self.sim.tracer
+            trace = tracer.trace_of(response) if tracer is not None else None
+            started = self.sim.now
             yield from self.allocate_buffer(worker, response.payload_size)
             total = self.params.response_process_cost(response.payload_size)
             locked_part = total * self.params.decode_lock_fraction
@@ -135,7 +139,14 @@ class AioBackendServer(AppServer):
             yield from locked_section(worker, conn_lock, locked_part, "app")
             self._fanout_responses.add()
             yield worker.execute(total - locked_part, "app")
+            if trace is not None:
+                # Lock waits and preemption inside the span surface as
+                # cpu_queue: (end - start) - work.
+                trace.add(K_PROCESS, started, self.sim.now,
+                          seq=response.seq, attempt=response.attempt,
+                          work=total, shard=response.shard_id,
+                          replica=response.replica)
             state: RequestState = response.context
-            if state.absorb(response.payload_size, self.sim.now):
+            if state.absorb(response.payload_size, self.sim.now, response):
                 yield from self.frontend_selector.post(worker, state)
         return task

@@ -34,6 +34,7 @@ from ..sim.params import CostParams
 from ..sim.rng import RngStreams, lognormal_from_mean_cv
 from ..sim.network import Connection
 from ..sim.threads import Mutex, SimThread, locked_section
+from ..trace import K_ASSEMBLE, K_PARSE, K_PROCESS
 
 __all__ = ["AppServer", "RequestState", "default_op_rule"]
 
@@ -49,7 +50,7 @@ class RequestState:
 
     __slots__ = ("request", "conn", "remaining", "fanout", "total_bytes",
                  "arrived_at", "first_response_at", "session", "won",
-                 "failed")
+                 "failed", "trace")
 
     def __init__(self, request: HttpRequest, conn: Connection, now: float) -> None:
         self.request = request
@@ -59,6 +60,10 @@ class RequestState:
         self.total_bytes = 0
         self.arrived_at = now
         self.first_response_at: Optional[float] = None
+        #: The request's :class:`repro.trace.Trace` when sampled (the
+        #: ``Query``/``QueryResponse`` messages reach it via their
+        #: ``context``; a posted completed state carries it directly).
+        self.trace = request.trace
         #: Per-sub-query trackers (seq -> tracker) installed by
         #: :meth:`repro.faults.ResiliencePolicy.attach`; None when no
         #: resilience policy is active.
@@ -75,8 +80,14 @@ class RequestState:
     def complete(self) -> bool:
         return self.remaining == 0
 
-    def absorb(self, payload_size: int, now: float) -> bool:
-        """Account one fanout response; True when this was the last."""
+    def absorb(self, payload_size: int, now: float,
+               response: Any = None) -> bool:
+        """Account one fanout response; True when this was the last.
+
+        When the request is traced and the caller passes the winning
+        *response*, the completing sub-query is stamped on the trace as
+        the critical path's join point.
+        """
         if self.remaining <= 0:
             raise RuntimeError(
                 f"request {self.request.request_id} received more responses "
@@ -85,7 +96,10 @@ class RequestState:
             self.first_response_at = now
         self.remaining -= 1
         self.total_bytes += payload_size
-        return self.remaining == 0
+        done = self.remaining == 0
+        if done and self.trace is not None and response is not None:
+            self.trace.note_win(response)
+        return done
 
 
 class AppServer:
@@ -161,6 +175,12 @@ class AppServer:
                      conn: Connection, replica: int = 0) -> None:
         """Register a just-sent sub-query with the resilience policy
         (deadline + hedge watchdogs).  No-op without a policy."""
+        if query.sent_at == 0.0:
+            # Wire stamp for latency-aware replica routing; the send
+            # path (Connection.send / ResiliencePolicy._transmit)
+            # normally stamps it, this is the fallback for tests that
+            # arm without sending.
+            query.sent_at = self.sim.now
         if self.resilience is not None:
             self.resilience.arm(state, query, conn, replica)
 
@@ -191,8 +211,9 @@ class AppServer:
         post-failure stragglers) must be dropped before any processing
         CPU is charged."""
         # Retire the in-flight count the replica selector charged at
-        # send time — for every real response, winner or straggler.
-        self.cluster.replica_selector.note_response(response)
+        # send time — for every real response, winner or straggler —
+        # and (ewma policy) feed it the observed response latency.
+        self.cluster.replica_selector.note_response(response, self.sim.now)
         if self.resilience is None:
             return True
         return self.resilience.on_response(state, response)
@@ -234,13 +255,36 @@ class AppServer:
                     self.params.request_cpu_cv)
             else:
                 cost += self.params.request_cpu
-        yield thread.execute(cost, "app")
+        trace = request.trace if self.sim.tracer is not None else None
+        if trace is None:
+            yield thread.execute(cost, "app")
+        else:
+            started = self.sim.now
+            yield thread.execute(cost, "app")
+            trace.add(K_PARSE, started, self.sim.now, work=cost)
 
-    def process_response_cpu(self, thread: SimThread, payload_size: int):
-        """Coroutine: charge fanout-response processing CPU."""
+    def process_response_cpu(self, thread: SimThread, payload_size: int,
+                             response: Any = None):
+        """Coroutine: charge fanout-response processing CPU.
+
+        Callers pass the *response* so sampled requests get a
+        ``process`` span tagged with the sub-query's seq/attempt (the
+        critical-path analyzer needs the winning attempt's CPU span).
+        """
         self._fanout_responses.add()
-        yield thread.execute(
-            self.params.response_process_cost(payload_size), "app")
+        cost = self.params.response_process_cost(payload_size)
+        trace = None
+        if self.sim.tracer is not None and response is not None:
+            trace = self.sim.tracer.trace_of(response)
+        if trace is None:
+            yield thread.execute(cost, "app")
+        else:
+            started = self.sim.now
+            yield thread.execute(cost, "app")
+            trace.add(K_PROCESS, started, self.sim.now,
+                      seq=response.seq, attempt=response.attempt,
+                      work=cost, shard=response.shard_id,
+                      replica=response.replica)
 
     def allocate_buffer(self, thread: SimThread, size: int):
         """Coroutine: allocate a response buffer from the *shared* pool
@@ -258,13 +302,20 @@ class AppServer:
 
     def finish_request(self, thread: SimThread, state: RequestState):
         """Coroutine: assemble the reply and send it upstream."""
-        yield thread.execute(
-            self.params.assemble_cost(state.total_bytes), "app")
+        cost = self.params.assemble_cost(state.total_bytes)
+        trace = state.trace if self.sim.tracer is not None else None
+        if trace is None:
+            yield thread.execute(cost, "app")
+        else:
+            started = self.sim.now
+            yield thread.execute(cost, "app")
+            trace.add(K_ASSEMBLE, started, self.sim.now, work=cost)
         response = HttpResponse(
             request_id=state.request.request_id,
             payload_size=state.total_bytes,
             klass=state.request.klass,
             completed_at=self.sim.now,
+            trace=state.trace,
         )
         self.requests_completed += 1
         self._completed.add()

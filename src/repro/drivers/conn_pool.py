@@ -109,8 +109,9 @@ class SyncConnectionPool:
                 raise TypeError(
                     f"unexpected message on sync connection: {response!r}")
             # Retire the selector's in-flight charge for every real
-            # response, stale or winning.
-            selector.note_response(response)
+            # response, stale or winning (and feed the ewma policy the
+            # observed wire-to-wire latency).
+            selector.note_response(response, self.sim.now)
             if (response.request_id != query.request_id
                     or response.seq != query.seq):
                 # A straggler from a previous checkout of this pooled

@@ -114,6 +114,7 @@ class NettyBackendServer(AppServer):
                 state: RequestState = message.context
                 if not self.response_is_fresh(state, message):
                     continue
-                yield from self.process_response_cpu(thread, message.payload_size)
-                if state.absorb(message.payload_size, self.sim.now):
+                yield from self.process_response_cpu(
+                    thread, message.payload_size, response=message)
+                if state.absorb(message.payload_size, self.sim.now, message):
                     yield from self.frontend_selector.post(thread, state)

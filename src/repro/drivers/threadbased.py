@@ -56,6 +56,7 @@ class ThreadBasedServer(AppServer):
             for query in queries:
                 response = yield from self.pool.sync_query(thread, query)
                 yield from self.allocate_buffer(thread, response.payload_size)
-                yield from self.process_response_cpu(thread, response.payload_size)
-                state.absorb(response.payload_size, self.sim.now)
+                yield from self.process_response_cpu(
+                    thread, response.payload_size, response=response)
+                state.absorb(response.payload_size, self.sim.now, response)
             yield from self.finish_request(thread, state)

@@ -78,7 +78,8 @@ class Type1AsyncServer(AppServer):
         def task(worker: SimThread):
             response = yield from self.conn_pool.sync_query(worker, query)
             yield from self.allocate_buffer(worker, response.payload_size)
-            yield from self.process_response_cpu(worker, response.payload_size)
-            if state.absorb(response.payload_size, self.sim.now):
+            yield from self.process_response_cpu(
+                worker, response.payload_size, response=response)
+            if state.absorb(response.payload_size, self.sim.now, response):
                 yield from self.finish_request(worker, state)
         return task

@@ -45,6 +45,22 @@ def build_parser() -> argparse.ArgumentParser:
              "Results are byte-identical either way; irrelevant with "
              "--jobs 1.")
     parser.add_argument(
+        "--trace", action="store_true",
+        help="run every experiment point with deterministic span "
+             "tracing: appends a critical-path breakdown table to each "
+             "exhibit and collects tail exemplar traces.  Tracing is "
+             "observation-only — the measured numbers are identical "
+             "with or without it.")
+    parser.add_argument(
+        "--trace-sample", type=float, default=0.01, metavar="P",
+        help="head-based sampling probability for --trace "
+             "(default 0.01 = 1%% of requests)")
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="with --trace: write the collected exemplar traces as "
+             "Chrome trace_event JSON to PATH (open in "
+             "chrome://tracing or https://ui.perfetto.dev)")
+    parser.add_argument(
         "--profile", metavar="PATH", default=None,
         help="profile the run under cProfile, dump raw stats to PATH "
              "(load with pstats or snakeviz) and print the top 25 "
@@ -57,6 +73,13 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 0:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.trace_sample <= 1.0:
+        print(f"--trace-sample must be in (0, 1], got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+    if args.trace_out and not args.trace:
+        print("--trace-out requires --trace", file=sys.stderr)
         return 2
     if args.profile:
         return _profiled_main(args)
@@ -80,6 +103,20 @@ def _profiled_main(args) -> int:
     return status
 
 
+def _write_trace_out(path: str, results) -> None:
+    """Merge every exhibit's collected trace summaries into one Chrome
+    trace_event file."""
+    from ..trace import write_chrome_trace
+    summaries = {}
+    for name, result in results:
+        for label, summary in result.data.get("trace_summaries",
+                                              {}).items():
+            if summary is not None:
+                summaries[f"{name}/{label}"] = summary
+    write_chrome_trace(path, summaries)
+    print(f"[trace written to {path}: {len(summaries)} summaries]")
+
+
 def _run(args) -> int:
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
@@ -87,27 +124,37 @@ def _run(args) -> int:
             print(f"unknown exhibit {name!r}; choose from "
                   f"{sorted(EXHIBITS)} or 'all'", file=sys.stderr)
             return 2
+    trace_kw = dict(trace=args.trace, trace_sample=args.trace_sample)
     if len(names) > 1 and args.jobs != 1:
         # Interleave every requested exhibit's points over one shared
         # pool: slow tail-window points overlap with cheap tables.
         started = time.time()
         results = run_exhibits(names, quick=not args.full, seed=args.seed,
-                               jobs=args.jobs, transport=args.transport)
+                               jobs=args.jobs, transport=args.transport,
+                               **trace_kw)
         elapsed = time.time() - started
         for name in names:
             print(results[name].text)
             print()
         print(f"[{len(names)} exhibits regenerated (interleaved, "
               f"jobs={args.jobs}) in {elapsed:.1f}s wall time]")
+        if args.trace_out:
+            _write_trace_out(args.trace_out,
+                             [(n, results[n]) for n in names])
         return 0
+    collected = []
     for name in names:
         started = time.time()
         result = run_exhibit(name, quick=not args.full, seed=args.seed,
-                             jobs=args.jobs, transport=args.transport)
+                             jobs=args.jobs, transport=args.transport,
+                             **trace_kw)
         elapsed = time.time() - started
         print(result.text)
         print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
         print()
+        collected.append((name, result))
+    if args.trace_out:
+        _write_trace_out(args.trace_out, collected)
     return 0
 
 

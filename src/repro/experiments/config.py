@@ -93,6 +93,19 @@ class ExperimentConfig:
     #: Racks the cluster spans (correlated-fault topology; 1 = no
     #: meaningful rack structure).
     racks: int = 1
+    #: Extra one-way latency [s] for connections whose target replica
+    #: sits outside the app server's rack (spine-crossing asymmetry).
+    #: The 0.0 default keeps every run byte-identical to the flat
+    #: topology.
+    cross_rack_extra_latency: float = 0.0
+    #: Deterministic span tracing (``repro.trace``).  Off by default;
+    #: enabling it never changes any measured result, only records it.
+    trace: bool = False
+    #: Head-based sampling probability for traced requests (drawn from
+    #: the dedicated ``trace.sample`` RNG stream).
+    trace_sample: float = 0.01
+    #: Slowest-request exemplar traces kept per request class.
+    trace_exemplars: int = 3
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -134,6 +147,12 @@ class ExperimentConfig:
                 f"valid: {', '.join(REPLICA_POLICIES)}")
         if self.racks < 1:
             raise ValueError("racks must be >= 1")
+        if self.cross_rack_extra_latency < 0:
+            raise ValueError("cross_rack_extra_latency must be >= 0")
+        if not 0.0 < self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in (0, 1]")
+        if self.trace_exemplars < 1:
+            raise ValueError("trace_exemplars must be >= 1")
         if not self.label:
             self.label = self.server
 
@@ -194,6 +213,10 @@ class ExperimentResult:
     #: ``faults.*``, ``server.completed.degraded``); empty when no
     #: faults or resilience policy were configured.
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    #: Span-trace summary (:func:`repro.trace.build_summary`) when
+    #: ``config.trace`` was set: per-class critical-path breakdowns and
+    #: tail exemplars.  None on untraced runs.
+    trace_summary: Optional[Dict[str, Any]] = None
 
     @property
     def thread_samples(self) -> List[Tuple[float, float]]:

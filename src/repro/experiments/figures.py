@@ -17,19 +17,19 @@ minutes; ``quick=False`` (the CLI's ``--full``) uses the full grids.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..faults import FaultConfig, ResilienceConfig
 from ..sim.params import KB
 from .config import ExperimentConfig
 from .parallel import BatchExecutor, resolve_jobs, run_experiments
-from .report import normalize, render_series, render_table
+from .report import normalize, render_breakdown, render_series, render_table
 
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
            "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-           "fault_tail", "hedging", "fault_open"]
+           "fault_tail", "hedging", "fault_open", "ewma_route"]
 
 #: When set (by :func:`run_exhibits`), every exhibit's point batch is
 #: routed through this shared executor instead of a private pool, so
@@ -44,6 +44,14 @@ _BATCH_RUNNER: Optional[Callable[[List[ExperimentConfig]], List[Any]]] = None
 #: available).  Interleaved runs carry the transport inside their
 #: shared ``BatchExecutor`` instead.
 _TRANSPORT: Optional[str] = None
+
+#: When set (by :func:`run_exhibit` with ``trace=True``), every point
+#: an exhibit declares runs with span tracing forced on
+#: (``{"sample": rate, "exemplars": n, "summaries": {}}``), and each
+#: point's trace summary is stashed under a deterministic
+#: ``label#index (key)`` name for the breakdown table and the Chrome
+#: export.  Same set/run/restore discipline as ``_TRANSPORT``.
+_TRACE: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -62,13 +70,27 @@ class ExhibitResult:
 def _run_points(points: List[Tuple[Any, ExperimentConfig]],
                 jobs: Optional[int]) -> List[Tuple[Any, Any]]:
     """Run a declared point list; (key, result) pairs in declared order."""
+    trace = _TRACE
+    if trace is not None:
+        points = [(key, replace(config, trace=True,
+                                trace_sample=trace["sample"],
+                                trace_exemplars=trace["exemplars"]))
+                  for key, config in points]
     runner = _BATCH_RUNNER
     if runner is not None:
         results = runner([config for _key, config in points])
     else:
         results = run_experiments([config for _key, config in points],
                                   jobs=jobs, transport=_TRANSPORT)
-    return [(key, result) for (key, _config), result in zip(points, results)]
+    pairs = [(key, result)
+             for (key, _config), result in zip(points, results)]
+    if trace is not None:
+        summaries = trace["summaries"]
+        for (key, config), (_key, result) in zip(points, pairs):
+            if result.trace_summary is not None:
+                name = f"{config.label}#{len(summaries):03d} ({key})"
+                summaries[name] = result.trace_summary
+    return pairs
 
 
 def _concurrency_grid(quick: bool) -> List[int]:
@@ -771,18 +793,76 @@ def fault_open(quick: bool = True, seed: int = 42,
                          "\n\n".join(sections), data)
 
 
+# ---------------------------------------------------------------------------
+# EWMA replica routing — latency-aware vs queue-aware under RTT asymmetry
+# ---------------------------------------------------------------------------
+
+def ewma_route(quick: bool = True, seed: int = 42,
+               jobs: Optional[int] = 1) -> ExhibitResult:
+    """Latency-aware (EWMA) replica routing vs least-outstanding under
+    cross-rack RTT asymmetry, with span tracing attributing the gap.
+
+    Two replicas per shard span two racks; round-robin placement puts
+    exactly one replica of every shard in the app server's rack, the
+    other across the spine (+0.5 ms each way).  ``least_outstanding``
+    balances in-flight *counts* and so keeps paying the spine tax on
+    half its sends; ``ewma`` learns each shard's near replica from the
+    observed response latency and routes there.  Every point runs
+    traced, so the critical-path breakdown shows the difference landing
+    exactly in the ``network`` category.
+    """
+    duration = 1.5 if quick else 6.0
+    policies = ("primary", "least_outstanding", "ewma")
+    points: List[Tuple[Any, ExperimentConfig]] = [
+        (policy, ExperimentConfig(
+            server="doubleface", concurrency=20, fanout=5,
+            response_size=100, warmup=0.5, duration=duration, seed=seed,
+            replicas_per_shard=2, racks=2, replica_policy=policy,
+            cross_rack_extra_latency=0.5e-3,
+            trace=True, trace_sample=0.25, trace_exemplars=3,
+            keep_selector_stats=False, label=policy))
+        for policy in policies]
+    data: Dict[str, Any] = {}
+    summaries: Dict[str, Any] = {}
+    for label, result in _run_points(points, jobs):
+        data[label] = {
+            "p50": result.percentiles[50.0],
+            "p99": result.percentiles[99.0],
+            "mean_rt": result.mean_rt,
+            "throughput": result.throughput,
+        }
+        summaries[label] = result.trace_summary
+    rows = [[label,
+             round(1e3 * data[label]["p50"], 3),
+             round(1e3 * data[label]["p99"], 3),
+             round(data[label]["throughput"])]
+            for label in policies]
+    text = render_table(
+        "EWMA routing: cross-rack asymmetry (2 replicas over 2 racks, "
+        "+0.5ms spine)",
+        ["policy", "p50 [ms]", "p99 [ms]", "tput [req/s]"], rows)
+    text += "\n\n" + render_breakdown(
+        "EWMA routing: critical-path breakdown (mean per request)",
+        summaries)
+    return ExhibitResult("ewma_route", "Latency-aware replica routing",
+                         text, {**data, "trace_summaries": summaries})
+
+
 #: Registry used by the CLI and the benchmark suite.
 EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
     "fig04": fig04, "fig05": fig05, "fig07": fig07, "fig09": fig09,
     "fig13": fig13, "fig14": fig14, "fig15": fig15, "fig16": fig16,
     "fig17": fig17, "tab1": tab1, "tab2": tab2, "tab3": tab3,
     "fault_tail": fault_tail, "hedging": hedging, "fault_open": fault_open,
+    "ewma_route": ewma_route,
 }
 
 
 def run_exhibit(name: str, quick: bool = True, seed: int = 42,
                 jobs: Optional[int] = 1,
-                transport: Optional[str] = None) -> ExhibitResult:
+                transport: Optional[str] = None,
+                trace: bool = False, trace_sample: float = 0.01,
+                trace_exemplars: int = 3) -> ExhibitResult:
     """Run one exhibit by name (``fig04`` ... ``tab3``).
 
     ``jobs`` is forwarded to the parallel runner: 1 = serial (default),
@@ -790,17 +870,36 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
     0/None = one worker per CPU.  ``transport`` picks the worker→parent
     result path (``"shm"`` / ``"pickle"`` / ``None`` = auto).  Results
     are identical for any combination.
+
+    ``trace=True`` runs every point with span tracing at
+    ``trace_sample`` probability: the exhibit's measured numbers are
+    unchanged (tracing is observation-only), a critical-path breakdown
+    table is appended to the text, and the per-point summaries land in
+    ``result.data["trace_summaries"]`` (feed them to
+    :func:`repro.trace.write_chrome_trace` for a timeline).
     """
-    global _TRANSPORT
+    global _TRANSPORT, _TRACE
     if name not in EXHIBITS:
         raise KeyError(f"unknown exhibit {name!r}; choose from "
                        f"{sorted(EXHIBITS)}")
     previous = _TRANSPORT
+    previous_trace = _TRACE
     _TRANSPORT = transport
+    if trace:
+        _TRACE = {"sample": trace_sample, "exemplars": trace_exemplars,
+                  "summaries": {}}
     try:
-        return EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
+        result = EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
+        if trace and _TRACE["summaries"]:
+            result.data.setdefault("trace_summaries", _TRACE["summaries"])
+            result.text += "\n\n" + render_breakdown(
+                f"{name}: critical-path breakdown (mean per request, "
+                f"{100 * trace_sample:g}% sampled)",
+                _TRACE["summaries"])
+        return result
     finally:
         _TRANSPORT = previous
+        _TRACE = previous_trace
 
 
 #: Rough relative wall-clock cost of each exhibit (quick mode).  Used
@@ -809,14 +908,16 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
 _EXHIBIT_COST: Dict[str, int] = {
     "fig15": 100, "fig16": 60, "fig17": 60, "fig14": 40, "fig05": 30,
     "fig13": 20, "fig04": 15, "fig09": 10, "fig07": 8,
-    "fault_tail": 6, "hedging": 4, "fault_open": 8,
+    "fault_tail": 6, "hedging": 4, "fault_open": 8, "ewma_route": 4,
     "tab1": 5, "tab2": 4, "tab3": 4,
 }
 
 
 def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
                  jobs: Optional[int] = 1,
-                 transport: Optional[str] = None) -> Dict[str, ExhibitResult]:
+                 transport: Optional[str] = None,
+                 trace: bool = False, trace_sample: float = 0.01,
+                 trace_exemplars: int = 3) -> Dict[str, ExhibitResult]:
     """Run several exhibits, interleaving their points over one pool.
 
     With ``jobs > 1`` (or 0/None = per-CPU) every exhibit runs on its
@@ -836,9 +937,15 @@ def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
         if name not in EXHIBITS:
             raise ValueError(f"unknown exhibit {name!r}; choose from "
                              f"{sorted(EXHIBITS)}")
-    if resolve_jobs(jobs) <= 1 or len(names) <= 1:
+    if trace or resolve_jobs(jobs) <= 1 or len(names) <= 1:
+        # Traced runs stay serial per exhibit: the summary-collection
+        # global is per-exhibit state that must not interleave across
+        # submitter threads (each exhibit still fans its own points
+        # over ``jobs`` workers).
         return {name: run_exhibit(name, quick=quick, seed=seed, jobs=jobs,
-                                  transport=transport)
+                                  transport=transport, trace=trace,
+                                  trace_sample=trace_sample,
+                                  trace_exemplars=trace_exemplars)
                 for name in names}
     results: Dict[str, ExhibitResult] = {}
     errors: Dict[str, BaseException] = {}

@@ -11,7 +11,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "render_series", "fmt", "normalize"]
+__all__ = ["render_table", "render_series", "render_breakdown", "fmt",
+           "normalize"]
 
 
 def fmt(value, width: int = 10, digits: int = 2) -> str:
@@ -70,6 +71,34 @@ def render_series(title: str, x_label: str, xs: Sequence,
             values = series[name]
             row.append(values[i] if i < len(values) else float("nan"))
         rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def render_breakdown(title: str, summaries: Dict[str, dict]) -> str:
+    """Critical-path breakdown table from trace summaries.
+
+    *summaries* maps a row label to one :func:`repro.trace.build_summary`
+    dict; each (label, request class) pair becomes a row of
+    mean-per-request milliseconds in every additive category, plus the
+    mean response time they sum to.
+    """
+    from ..trace import CATEGORIES
+    headers = (["label", "class", "n", "rt [ms]"]
+               + [f"{c} [ms]" for c in CATEGORIES])
+    rows = []
+    for label, summary in summaries.items():
+        if summary is None:
+            continue
+        for klass in sorted(summary["classes"]):
+            entry = summary["classes"][klass]
+            count = entry["count"]
+            if not count:
+                continue
+            rows.append(
+                [label, klass, int(count),
+                 round(1e3 * entry["rt_sum"] / count, 3)]
+                + [round(1e3 * entry["breakdown"][c] / count, 3)
+                   for c in CATEGORIES])
     return render_table(title, headers, rows)
 
 

@@ -26,6 +26,7 @@ from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
 from ..sim.params import CostParams
 from ..sim.rng import RngStreams
+from ..trace import Tracer, build_summary
 from ..workload.closed_loop import ClosedLoopWorkload
 from ..workload.open_loop import PoissonWorkload
 from ..workload.profiles import lfan_sfan_profile, uniform_profile
@@ -109,6 +110,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.faults is not None and config.faults.active:
         faults = FaultSchedule(config.faults, rng, n_shards=config.n_shards,
                                racks=config.racks)
+    if config.trace:
+        # The sampler draws from its own named stream, so tracing a run
+        # never perturbs any other stream's draw sequence — and an
+        # untraced run creates no stream at all (byte-identical).
+        sim.tracer = Tracer(rng.stream("trace.sample"),
+                            sample_rate=config.trace_sample,
+                            keep_exemplars=config.trace_exemplars)
     cluster = DatastoreCluster(
         sim, metrics, params, rng, n_shards=config.n_shards,
         large_shards=config.large_shards,
@@ -117,7 +125,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         replicas_per_shard=config.replicas_per_shard,
         racks=config.racks,
         replica_policy=config.replica_policy,
-        faults=faults)
+        faults=faults,
+        cross_rack_extra_latency=config.cross_rack_extra_latency)
     resilience = None
     if config.resilience is not None and config.resilience.active:
         resilience = ResiliencePolicy(sim, metrics, config.resilience, rng,
@@ -142,6 +151,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # Warm-up, then the measurement window.
     sim.run(until=config.warmup)
     metrics.mark_window_start(sim.now)
+    if sim.tracer is not None:
+        # Drop warm-up aggregates; requests in flight across the
+        # boundary keep their open stamps and complete normally.
+        sim.tracer.reset(sim.now)
     load_start = server.cpu.load_snapshot()
     sim.run(until=config.warmup + config.duration)
     load_end = server.cpu.load_snapshot()
@@ -208,4 +221,6 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         latency_times=latency_times,
         latency_values=latency_values,
         fault_counters=fault_counters,
+        trace_summary=(build_summary(sim.tracer)
+                       if sim.tracer is not None else None),
     )

@@ -44,6 +44,7 @@ from array import array
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..trace import summary_columns, summary_from_columns
 from .config import ExperimentResult
 
 __all__ = ["encode_result", "decode_result", "ShmRing", "RingSpec",
@@ -87,6 +88,14 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
     n_latency = len(result.latency_times)
     columns.extend(result.latency_times)
     columns.extend(result.latency_values)
+    trace_structure = None
+    n_trace = 0
+    if result.trace_summary is not None:
+        # The summary splits into a tiny structure header + one float
+        # column that rides the same buffer as everything else.
+        trace_structure, trace_floats = summary_columns(result.trace_summary)
+        n_trace = len(trace_floats)
+        columns.extend(trace_floats)
     header = {
         "config": result.config,
         "qs": qs,
@@ -96,6 +105,8 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
         "n_thread": n_thread,
         "n_latency": n_latency,
         "selector_stats": result.selector_stats,
+        "trace": trace_structure,
+        "n_trace": n_trace,
         "n_columns": len(columns),
     }
     return header, columns
@@ -144,6 +155,11 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
     n_latency = header["n_latency"]
     latency_times = _take(view, pos, n_latency)
     latency_values = _take(view, pos + n_latency, n_latency)
+    pos += 2 * n_latency
+    trace_summary = None
+    if header.get("trace") is not None:
+        trace_summary = summary_from_columns(
+            header["trace"], _take(view, pos, header["n_trace"]))
     return ExperimentResult(
         config=header["config"],
         percentiles=percentiles,
@@ -155,6 +171,7 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
         latency_times=latency_times,
         latency_values=latency_values,
         fault_counters=fault_counters,
+        trace_summary=trace_summary,
         **scalars,
     )
 

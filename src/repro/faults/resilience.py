@@ -53,6 +53,7 @@ from ..messages import Query, QueryResponse
 from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
 from ..sim.rng import RngStreams
+from ..trace import FLAG_SYNTHESIZED, K_FAILED, K_HEDGE, K_RETRY
 
 __all__ = ["ResilienceConfig", "ResiliencePolicy", "HEDGE_ATTEMPT"]
 
@@ -250,6 +251,12 @@ class ResiliencePolicy:
         self.metrics.add("resilience.retries")
         attempt = tracker.attempts - 1
         replica = self._next_replica(tracker)
+        if self.sim.tracer is not None:
+            trace = getattr(tracker.state, "trace", None)
+            if trace is not None:
+                trace.point(K_RETRY, self.sim.now, seq=tracker.query.seq,
+                            attempt=attempt,
+                            shard=tracker.query.shard_id, replica=replica)
         self._transmit(tracker, replace(tracker.query, attempt=attempt),
                        replica)
         self.sim.call_later(self.config.subquery_deadline,
@@ -261,6 +268,12 @@ class ResiliencePolicy:
         tracker.hedged = True
         self.metrics.add("resilience.hedges")
         replica = self._next_replica(tracker)
+        if self.sim.tracer is not None:
+            trace = getattr(tracker.state, "trace", None)
+            if trace is not None:
+                trace.point(K_HEDGE, self.sim.now, seq=tracker.query.seq,
+                            attempt=HEDGE_ATTEMPT,
+                            shard=tracker.query.shard_id, replica=replica)
         self._transmit(tracker,
                        replace(tracker.query, attempt=HEDGE_ATTEMPT),
                        replica)
@@ -270,6 +283,13 @@ class ResiliencePolicy:
         completes (degraded) instead of wedging its user."""
         self.metrics.add("resilience.failed_subqueries")
         query = tracker.query
+        if self.sim.tracer is not None:
+            trace = getattr(tracker.state, "trace", None)
+            if trace is not None:
+                trace.point(K_FAILED, self.sim.now, seq=query.seq,
+                            attempt=tracker.attempts - 1,
+                            shard=query.shard_id, replica=tracker.replica,
+                            flags=FLAG_SYNTHESIZED)
         response = QueryResponse(
             request_id=query.request_id, shard_id=query.shard_id,
             payload_size=0, seq=query.seq, context=tracker.state,

@@ -70,6 +70,9 @@ class HttpRequest:
     reply_to: Any = None
     #: Optional explicit keys, one per fanout query (dataset-driven runs).
     keys: Optional[List[Any]] = None
+    #: :class:`repro.trace.Trace` when this request was head-sampled
+    #: (None otherwise; never affects behaviour).
+    trace: Any = None
 
     @property
     def wire_size(self) -> int:
@@ -85,6 +88,9 @@ class HttpResponse:
     payload_size: int
     klass: str = "default"
     completed_at: float = 0.0
+    #: Trace of the originating request (propagated by the driver so
+    #: the response's wire leg and inbox wait attribute correctly).
+    trace: Any = None
 
     @property
     def wire_size(self) -> int:
@@ -109,6 +115,10 @@ class Query:
     #: :data:`repro.faults.HEDGE_ATTEMPT` = hedged duplicate.  Echoed
     #: back on the response so the policy can attribute wins.
     attempt: int = 0
+    #: Stamped when this attempt hits the wire; echoed on the response
+    #: so latency-aware replica routing (the ``ewma`` policy) can
+    #: observe per-replica response latency without a side table.
+    sent_at: float = 0.0
 
     @property
     def wire_size(self) -> int:
@@ -139,6 +149,9 @@ class QueryResponse:
     #: :class:`~repro.faults.ResiliencePolicy` delivers when a sub-query
     #: exhausts its retries; carries an empty payload.
     failed: bool = False
+    #: Echo of the winning query attempt's wire stamp (see
+    #: :attr:`Query.sent_at`).
+    sent_at: float = 0.0
 
     @property
     def wire_size(self) -> int:

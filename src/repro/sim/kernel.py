@@ -445,7 +445,7 @@ class Simulator:
     """
 
     __slots__ = (
-        "_seq", "now", "_event_count",
+        "_seq", "now", "_event_count", "tracer",
         "_width", "_inv_w", "_nbuckets", "_mask", "_buckets",
         "_vb", "_vbh", "_active", "_apos", "_far", "_nbucket", "_nfar",
         "_pending_resize", "_active_limit", "_null_event",
@@ -457,6 +457,9 @@ class Simulator:
         self.now = 0.0
         #: Total number of events processed (for diagnostics).
         self._event_count = 0
+        #: Optional :class:`repro.trace.Tracer` (None = tracing off;
+        #: every hook in the stack is one attribute test against this).
+        self.tracer = None
         width = _DEFAULT_WIDTH if bucket_width is None else float(bucket_width)
         if width <= 0.0 or not math.isfinite(width):
             raise ValueError(f"bucket_width must be positive, got {bucket_width}")

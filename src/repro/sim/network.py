@@ -25,6 +25,8 @@ from .params import CostParams
 from .resources import Queue
 from .syscalls import Channel
 from .threads import SimThread
+from ..trace import (FLAG_DROPPED, K_INBOX_WAIT, K_NET_REQUEST,
+                     K_NET_RESPONSE)
 
 __all__ = ["Endpoint", "ChannelEndpoint", "QueueEndpoint", "InboxEndpoint", "Connection"]
 
@@ -86,6 +88,9 @@ class InboxEndpoint(Endpoint):
         self._blocking_wakes = self.metrics.counter("net.blocking_recv_wakes")
 
     def deliver(self, message: Any) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.trace_of(message) is not None:
+            tracer.stamp_wait(message, self.sim.now)
         self.queue.put(message)
 
     def recv(self, thread: SimThread):
@@ -98,6 +103,15 @@ class InboxEndpoint(Endpoint):
         get_event = self.queue.get()
         blocked = not get_event.triggered
         message = yield get_event
+        tracer = self.sim.tracer
+        if tracer is not None:
+            trace = tracer.trace_of(message)
+            if trace is not None:
+                started = tracer.pop_wait(message)
+                if started is not None:
+                    trace.add(K_INBOX_WAIT, started, self.sim.now,
+                              seq=getattr(message, "seq", -1),
+                              attempt=getattr(message, "attempt", 0))
         if blocked:
             self._blocking_wakes.add()
             yield self.cpu.execute(thread, self.params.futex_cost, "lock")
@@ -170,11 +184,45 @@ class Connection:
             raise RuntimeError(f"connection {self.cid}: side {to_side} not attached")
         self._messages.add()
         self._bytes.add(size)
+        if to_side == "b":
+            # Request-direction wire stamp (HttpRequest / Query): the
+            # ewma replica policy reads it back off the echoed response.
+            # Foreign message types (harness probes) simply go unstamped.
+            try:
+                message.sent_at = self.sim.now
+            except AttributeError:
+                pass
         delay = self.latency + self.params.transfer_time(size)
+        tracer = self.sim.tracer
         if self.faults is not None:
             if self.faults.drop_message():
                 self.metrics.add("faults.dropped_messages")
+                if tracer is not None:
+                    trace = tracer.trace_of(message)
+                    if trace is not None:
+                        now = self.sim.now
+                        trace.add(
+                            K_NET_REQUEST if to_side == "b"
+                            else K_NET_RESPONSE,
+                            now, now,
+                            seq=getattr(message, "seq", -1),
+                            attempt=getattr(message, "attempt", 0),
+                            shard=getattr(message, "shard_id", -1),
+                            replica=getattr(message, "replica", -1),
+                            flags=FLAG_DROPPED)
                 return
             delay += self.faults.extra_latency(self.sim.now)
+        if tracer is not None:
+            trace = tracer.trace_of(message)
+            if trace is not None:
+                now = self.sim.now
+                trace.add(
+                    K_NET_REQUEST if to_side == "b" else K_NET_RESPONSE,
+                    now, now + delay,
+                    seq=getattr(message, "seq", -1),
+                    attempt=getattr(message, "attempt", 0),
+                    shard=getattr(message, "shard_id", -1),
+                    replica=getattr(message, "replica", -1),
+                    flags=0)
         # Bare-callback entry: no Timeout/closure allocated per message.
         self.sim.call_later(delay, target.deliver, message)

@@ -30,6 +30,7 @@ from .kernel import Event, Simulator
 from .metrics import Metrics
 from .params import CostParams
 from .threads import SimThread
+from ..trace import K_HANDOFF, K_SELECTOR_WAIT
 
 __all__ = ["Channel", "Selector", "ReadyEvent"]
 
@@ -100,6 +101,9 @@ class Selector:
     # -- delivery ------------------------------------------------------------
 
     def _enqueue(self, channel: Channel, message: Any) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.trace_of(message) is not None:
+            tracer.stamp_wait(message, self.sim.now)
         self._ready.append((channel, message))
         if self._waiter is not None and not self._waiter.triggered:
             self._waiter.succeed()
@@ -172,6 +176,22 @@ class Selector:
         else:
             batch = list(self._ready)
             self._ready.clear()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            now = self.sim.now
+            for channel, message in batch:
+                trace = tracer.trace_of(message)
+                if trace is not None:
+                    started = tracer.pop_wait(message)
+                    if started is not None:
+                        trace.add(
+                            K_HANDOFF if channel.kind == "task"
+                            else K_SELECTOR_WAIT,
+                            started, now,
+                            seq=getattr(message, "seq", -1),
+                            attempt=getattr(message, "attempt", 0),
+                            shard=getattr(message, "shard_id", -1),
+                            replica=getattr(message, "replica", -1))
         n = len(batch)
         self._selects.add()
         self._events.add(n)

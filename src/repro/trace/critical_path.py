@@ -1,0 +1,122 @@
+"""Critical-path attribution: where did this request's latency go?
+
+Walks one request's span list and splits its measured end-to-end
+latency ``rt`` into six categories that are **additive by
+construction**:
+
+- ``network``    — wire transit on the critical chain: the client
+  request leg, the critical sub-query's winning-attempt query and
+  response legs, and the final response leg back to the client.
+- ``service``    — datastore-side queueing plus service time of the
+  critical winning attempt.
+- ``cpu_queue``  — scheduler queueing around the request's app-CPU
+  spans on the chain: each CPU span records the amount actually
+  charged (``work``), so queueing is ``(end - start) - work``.
+- ``selector_wait`` — time chain messages sat in reactor selector
+  ready queues, cross-thread task channels, and blocking-recv
+  inboxes.
+- ``retry_hedge`` — time lost before the winning attempt of the
+  critical sub-query even hit the wire: winning-attempt send start
+  minus first-attempt send start (zero when attempt 0 wins).
+- ``driver``     — everything else, as an exact residual: charged
+  driver CPU, fan-out serialization gaps between sub-query sends,
+  scheduling slack the spans cannot see, and float dust.
+
+The residual construction is what makes the invariant *float-exact*:
+``driver`` is computed as ``rt`` minus the other five categories in a
+fixed left-associated order, so re-subtracting all six from ``rt`` in
+the same order (see :func:`additivity_residual`) yields exactly
+``0.0`` for every trace — ``x - x == 0.0`` for finite floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spans import (K_ASSEMBLE, K_HANDOFF, K_INBOX_WAIT, K_NET_REQUEST,
+                    K_NET_RESPONSE, K_PARSE, K_PROCESS, K_SELECTOR_WAIT,
+                    K_SERVER_QUEUE, K_SERVICE, Trace)
+
+__all__ = ["CATEGORIES", "attribute", "additivity_residual"]
+
+#: Attribution categories, in the canonical subtraction order.
+CATEGORIES = ("network", "service", "cpu_queue", "selector_wait",
+              "retry_hedge", "driver")
+
+_NET_KINDS = frozenset((K_NET_REQUEST, K_NET_RESPONSE))
+_SERVER_KINDS = frozenset((K_SERVER_QUEUE, K_SERVICE))
+_CPU_KINDS = frozenset((K_PARSE, K_PROCESS, K_ASSEMBLE))
+_WAIT_KINDS = frozenset((K_SELECTOR_WAIT, K_HANDOFF, K_INBOX_WAIT))
+
+
+def attribute(trace: Trace) -> Dict[str, float]:
+    """Attribute ``trace.rt`` into :data:`CATEGORIES`.
+
+    The critical chain is: the request-level spans (``seq == -1``)
+    plus the spans of the critical sub-query's winning attempt
+    (``seq == trace.crit_seq and attempt == trace.crit_attempt``, as
+    stamped by the fanout join).  Non-critical sub-queries overlap the
+    critical one and therefore contribute no end-to-end latency.
+
+    Also fills ``trace.attempts`` (distinct wire attempts observed for
+    the critical sub-query).
+    """
+    crit_seq = trace.crit_seq
+    crit_attempt = trace.crit_attempt
+    c_network = 0.0
+    c_service = 0.0
+    c_cpu_queue = 0.0
+    c_wait = 0.0
+    first_send = None
+    win_send = None
+    attempts = set()
+    for kind, start, end, seq, attempt, work, _shard, _replica, _flags \
+            in trace.spans:
+        on_chain = seq == -1 or (seq == crit_seq and attempt == crit_attempt)
+        if kind in _NET_KINDS:
+            if on_chain:
+                c_network += end - start
+            if kind == K_NET_REQUEST and seq == crit_seq:
+                attempts.add(attempt)
+                if first_send is None or start < first_send:
+                    first_send = start
+                if attempt == crit_attempt:
+                    win_send = start
+        elif kind in _SERVER_KINDS:
+            if seq == crit_seq and attempt == crit_attempt:
+                c_service += end - start
+        elif kind in _CPU_KINDS:
+            if on_chain:
+                c_cpu_queue += (end - start) - work
+        elif kind in _WAIT_KINDS:
+            if on_chain:
+                c_wait += end - start
+    if win_send is not None and first_send is not None:
+        c_retry = win_send - first_send
+    else:
+        c_retry = 0.0
+    trace.attempts = len(attempts)
+    # The residual, in the canonical left-associated order.  Keep this
+    # order in sync with CATEGORIES and additivity_residual.
+    residual = trace.rt
+    residual -= c_network
+    residual -= c_service
+    residual -= c_cpu_queue
+    residual -= c_wait
+    residual -= c_retry
+    return {"network": c_network, "service": c_service,
+            "cpu_queue": c_cpu_queue, "selector_wait": c_wait,
+            "retry_hedge": c_retry, "driver": residual}
+
+
+def additivity_residual(rt: float, breakdown: Dict[str, float]) -> float:
+    """``rt`` minus every category, in the canonical order.
+
+    Exactly ``0.0`` for any breakdown produced by :func:`attribute`
+    from the same ``rt`` — the additivity invariant the property tests
+    assert.
+    """
+    residual = rt
+    for category in CATEGORIES:
+        residual -= breakdown[category]
+    return residual

@@ -70,6 +70,9 @@ class ClosedLoopWorkload:
         yield self.sim.timeout(self._rng.random() * 1.0e-3)
         while True:
             request = self.profile.make_request(self._rng)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.sample():
+                request.trace = tracer.begin(request.klass, self.sim.now)
             request.sent_at = self.sim.now
             # Client machines are unmodelled: a thread-less send never
             # yields, so skip the generator frame and transmit directly.
@@ -83,6 +86,10 @@ class ClosedLoopWorkload:
         now = self.sim.now
         rt = now - request.sent_at
         klass = request.klass
+        if response.trace is not None and self.sim.tracer is not None:
+            # Exactly the recorded response-time float, so the trace's
+            # category breakdown sums to what the histograms saw.
+            self.sim.tracer.finish(response.trace, rt)
         self._completed.add()
         by_klass = self._completed_by_klass.get(klass)
         if by_klass is None:

@@ -75,6 +75,9 @@ class PoissonWorkload:
         yield self.sim.timeout(self._think_rng.random() * self.think_time_mean)
         while True:
             request = self.profile.make_request(self._rng)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.sample():
+                request.trace = tracer.begin(request.klass, self.sim.now)
             request.sent_at = self.sim.now
             # Thread-less send never yields: transmit directly.
             conn.transmit(request, request.wire_size, "b")
@@ -84,6 +87,10 @@ class PoissonWorkload:
             now = self.sim.now
             rt = now - request.sent_at
             klass = request.klass
+            if response.trace is not None and self.sim.tracer is not None:
+                # Exactly the recorded response-time float (see
+                # ClosedLoopWorkload._record).
+                self.sim.tracer.finish(response.trace, rt)
             self._completed.add()
             by_klass = self._completed_by_klass.get(klass)
             if by_klass is None:

@@ -151,3 +151,58 @@ class TestCluster:
         b = DatastoreCluster(sim, metrics, params, RngStreams(9), n_shards=5)
         assert [s.service_model.speed_factor for s in a.shards] == \
                [s.service_model.speed_factor for s in b.shards]
+
+
+class TestCrossRackLatency:
+    def test_default_is_flat(self, env):
+        cluster = make_cluster(env, n_shards=4, replicas_per_shard=2,
+                               racks=2)
+        flat = cluster.connection_latency()
+        for shard in range(4):
+            for replica in range(2):
+                assert cluster.connection_latency(shard, replica) == flat
+
+    def test_penalty_applies_off_rack_only(self, env):
+        # rack_of(shard, replica, 2) == (shard + replica) % 2 and the
+        # app sits in rack 0: every shard has exactly one near replica.
+        extra = 0.5e-3
+        cluster = make_cluster(env, n_shards=4, replicas_per_shard=2,
+                               racks=2, cross_rack_extra_latency=extra)
+        base = CostParams().net_latency
+        for shard in range(4):
+            near = shard % 2  # replica whose rack is 0
+            far = 1 - near
+            assert cluster.connection_latency(shard, near) == base
+            assert cluster.connection_latency(shard, far) == \
+                pytest.approx(base + extra)
+
+    def test_app_rack_moves_the_near_side(self, env):
+        extra = 1e-3
+        cluster = make_cluster(env, n_shards=2, replicas_per_shard=2,
+                               racks=2, cross_rack_extra_latency=extra,
+                               app_rack=1)
+        base = CostParams().net_latency
+        # Shard 0: replica 1 is in rack 1, now local to the app.
+        assert cluster.connection_latency(0, 1) == base
+        assert cluster.connection_latency(0, 0) == pytest.approx(base + extra)
+
+    def test_replica_index_wraps(self, env):
+        extra = 1e-3
+        cluster = make_cluster(env, n_shards=2, replicas_per_shard=2,
+                               racks=2, cross_rack_extra_latency=extra)
+        # Failover rotation can pass attempt counts beyond the set size.
+        assert cluster.connection_latency(1, 3) == \
+            cluster.connection_latency(1, 1)
+
+    def test_flat_argless_form_unchanged(self, env):
+        cluster = make_cluster(env, n_shards=2, replicas_per_shard=2,
+                               racks=2, cross_rack_extra_latency=1e-3)
+        assert cluster.connection_latency() == CostParams().net_latency
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            make_cluster(env, n_shards=2, cross_rack_extra_latency=-1.0)
+        with pytest.raises(ValueError):
+            make_cluster(env, n_shards=2, racks=2, app_rack=2)
+        with pytest.raises(ValueError):
+            make_cluster(env, n_shards=2, racks=2, app_rack=-1)

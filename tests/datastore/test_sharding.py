@@ -124,6 +124,7 @@ class _Resp:
     shard_id: int
     replica: int
     failed: bool = False
+    sent_at: float = 0.0
 
 
 class TestReplicaSelector:
@@ -137,7 +138,8 @@ class TestReplicaSelector:
 
     def test_single_replica_every_policy_is_noop(self):
         for policy in REPLICA_POLICIES:
-            rng = random.Random(7) if policy == "random" else None
+            rng = (random.Random(7)
+                   if policy in ("random", "ewma") else None)
             selector = ReplicaSelector(policy, 1, rng=rng)
             assert [selector.pick(3) for _ in range(4)] == [0, 0, 0, 0]
             assert selector.alternate(3, avoid=0) == 0
@@ -191,3 +193,74 @@ class TestReplicaSelector:
             selector.pick(0)  # counts now [1, 1, 1]
         selector.note_response(_Resp(shard_id=0, replica=2))
         assert selector.alternate(0, avoid=0) == 2
+
+
+class TestEwmaSelector:
+    def _respond(self, selector, replica, sent_at, now):
+        selector.note_response(
+            _Resp(shard_id=0, replica=replica, sent_at=sent_at), now=now)
+
+    def test_learns_the_fast_replica(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        # Replica 0 answers in 1 ms, replica 1 in 5 ms.
+        for _ in range(10):
+            self._respond(selector, 0, sent_at=1.0, now=1.001)
+            self._respond(selector, 1, sent_at=1.0, now=1.005)
+        assert [selector.pick(0) for _ in range(10)] == [0] * 10
+        fast, slow = selector.latency_score(0)
+        assert fast == pytest.approx(0.001)
+        assert slow == pytest.approx(0.005)
+
+    def test_adapts_when_the_fast_replica_degrades(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        self._respond(selector, 0, sent_at=1.0, now=1.001)
+        self._respond(selector, 1, sent_at=1.0, now=1.002)
+        assert selector.pick(0) == 0
+        # Replica 0 starts answering in 50 ms: a handful of
+        # observations push its EWMA past replica 1's.
+        for _ in range(5):
+            self._respond(selector, 0, sent_at=2.0, now=2.050)
+        assert selector.pick(0) == 1
+
+    def test_unsampled_replicas_explored_first(self):
+        # Replica 1 has a score, replica 0 and 2 are unsampled (0.0):
+        # the unsampled pair ties at the minimum and wins exploration.
+        selector = ReplicaSelector("ewma", 3, rng=random.Random(4))
+        self._respond(selector, 1, sent_at=1.0, now=1.001)
+        for _ in range(20):
+            assert selector.pick(0) in (0, 2)
+
+    def test_tie_break_is_seed_deterministic(self):
+        a = ReplicaSelector("ewma", 4, rng=random.Random(99))
+        b = ReplicaSelector("ewma", 4, rng=random.Random(99))
+        assert [a.pick(0) for _ in range(20)] == \
+               [b.pick(0) for _ in range(20)]
+
+    def test_failed_responses_never_update(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        selector.note_response(
+            _Resp(shard_id=0, replica=0, sent_at=1.0, failed=True), now=2.0)
+        assert selector.latency_score(0) == [0.0, 0.0]
+
+    def test_unstamped_responses_never_update(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        # No sent_at stamp (0.0) and a non-causal stamp are both inert.
+        self._respond(selector, 0, sent_at=0.0, now=2.0)
+        self._respond(selector, 0, sent_at=3.0, now=2.0)
+        assert selector.latency_score(0) == [0.0, 0.0]
+
+    def test_alternate_avoids_last_target(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        # Replica 0 is far cheaper, but a retry of a send to 0 must go
+        # elsewhere.
+        self._respond(selector, 0, sent_at=1.0, now=1.001)
+        self._respond(selector, 1, sent_at=1.0, now=1.050)
+        assert selector.alternate(0, avoid=0) == 1
+
+    def test_ewma_smoothing_matches_alpha(self):
+        selector = ReplicaSelector("ewma", 2, rng=random.Random(4))
+        self._respond(selector, 0, sent_at=1.0, now=1.010)  # first = raw
+        self._respond(selector, 0, sent_at=2.0, now=2.020)
+        alpha = ReplicaSelector.EWMA_ALPHA
+        expected = 0.010 + alpha * (0.020 - 0.010)
+        assert selector.latency_score(0)[0] == pytest.approx(expected)

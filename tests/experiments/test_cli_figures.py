@@ -14,7 +14,7 @@ class TestRegistry:
     def test_all_paper_exhibits_registered(self):
         expected = {"fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
                     "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-                    "fault_tail", "hedging", "fault_open"}
+                    "fault_tail", "hedging", "fault_open", "ewma_route"}
         assert set(EXHIBITS) == expected
 
     def test_unknown_exhibit_rejected(self):
@@ -43,6 +43,29 @@ class TestParser:
 
     def test_negative_jobs_exit_code(self, capsys):
         assert main(["--exhibit", "tab2", "--jobs", "-1"]) == 2
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args([])
+        assert not args.trace
+        assert args.trace_sample == 0.01
+        assert args.trace_out is None
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "--trace-sample", "0.25",
+             "--trace-out", "/tmp/t.json"])
+        assert args.trace
+        assert args.trace_sample == 0.25
+        assert args.trace_out == "/tmp/t.json"
+
+    def test_bad_trace_sample_exit_code(self, capsys):
+        assert main(["--exhibit", "tab2", "--trace",
+                     "--trace-sample", "0"]) == 2
+        assert main(["--exhibit", "tab2", "--trace",
+                     "--trace-sample", "1.5"]) == 2
+
+    def test_trace_out_requires_trace(self, capsys):
+        assert main(["--exhibit", "tab2", "--trace-out", "/tmp/t"]) == 2
 
 
 class TestExhibitRun:
