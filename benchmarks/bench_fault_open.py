@@ -103,9 +103,11 @@ def check_margin(metrics: dict, threshold: float = MIN_P99_RESCUE) -> int:
 
 
 def load_trajectory() -> dict:
+    # BENCH_faults.json is shared with bench_fault_tail.py; each entry
+    # carries a "benchmark" tag naming the script that produced it.
     if BENCH_FILE.exists():
         return json.loads(BENCH_FILE.read_text())
-    return {"benchmark": "bench_fault_open", "entries": []}
+    return {"benchmark": "faults", "entries": []}
 
 
 def main(argv=None) -> int:
@@ -129,6 +131,7 @@ def main(argv=None) -> int:
     metrics = collect_metrics(quick=args.quick, seed=args.seed,
                               jobs=args.jobs)
     entry = {
+        "benchmark": "bench_fault_open",
         "label": args.label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "python": platform.python_version(),

@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="head-based sampling probability for --trace "
              "(default 0.01 = 1%% of requests)")
     parser.add_argument(
+        "--trace-exemplars", type=int, default=3, metavar="K",
+        help="with --trace: slowest-request exemplar traces kept per "
+             "request class (default 3)")
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="with --trace: write the collected exemplar traces as "
              "Chrome trace_event JSON to PATH (open in "
@@ -76,6 +80,10 @@ def main(argv=None) -> int:
         return 2
     if not 0.0 < args.trace_sample <= 1.0:
         print(f"--trace-sample must be in (0, 1], got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+    if args.trace_exemplars < 1:
+        print(f"--trace-exemplars must be >= 1, got {args.trace_exemplars}",
               file=sys.stderr)
         return 2
     if args.trace_out and not args.trace:
@@ -124,7 +132,8 @@ def _run(args) -> int:
             print(f"unknown exhibit {name!r}; choose from "
                   f"{sorted(EXHIBITS)} or 'all'", file=sys.stderr)
             return 2
-    trace_kw = dict(trace=args.trace, trace_sample=args.trace_sample)
+    trace_kw = dict(trace=args.trace, trace_sample=args.trace_sample,
+                    trace_exemplars=args.trace_exemplars)
     if len(names) > 1 and args.jobs != 1:
         # Interleave every requested exhibit's points over one shared
         # pool: slow tail-window points overlap with cheap tables.

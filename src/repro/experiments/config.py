@@ -217,6 +217,10 @@ class ExperimentResult:
     #: ``config.trace`` was set: per-class critical-path breakdowns and
     #: tail exemplars.  None on untraced runs.
     trace_summary: Optional[Dict[str, Any]] = None
+    #: Learned per-shard hedge delays (shard -> seconds) the
+    #: attribution digest converged to; empty unless
+    #: ``resilience.hedge_policy == "attribution"``.
+    hedge_delays: Dict[int, float] = field(default_factory=dict)
 
     @property
     def thread_samples(self) -> List[Tuple[float, float]]:

@@ -29,7 +29,8 @@ from .report import normalize, render_breakdown, render_series, render_table
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
            "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-           "fault_tail", "hedging", "fault_open", "ewma_route"]
+           "fault_tail", "hedging", "fault_open", "ewma_route",
+           "adaptive_hedge"]
 
 #: When set (by :func:`run_exhibits`), every exhibit's point batch is
 #: routed through this shared executor instead of a private pool, so
@@ -848,13 +849,85 @@ def ewma_route(quick: bool = True, seed: int = 42,
                          text, {**data, "trace_summaries": summaries})
 
 
+# ---------------------------------------------------------------------------
+# Attribution hedging — per-shard learned hedge delays vs one global window
+# ---------------------------------------------------------------------------
+
+def adaptive_hedge(quick: bool = True, seed: int = 42,
+                   jobs: Optional[int] = 1) -> ExhibitResult:
+    """Per-shard attribution hedging vs the global-percentile hedge
+    under a slow-shard brown-out on a heterogeneous topology.
+
+    Two replicas per shard span two racks with a +0.5 ms spine tax
+    (``cross_rack_extra_latency``), so half the shards' primary attempts
+    are structurally slower than the other half's — on top of
+    :data:`FAULT_SLOW_SHARDS` browning out two shards at 100x.  The
+    global p95 window has to pick one delay for both shard populations;
+    ``hedge_policy="attribution"`` keeps a per-(shard, replica)
+    attempt-latency digest and hedges each shard at its *own* p95.
+    Every point runs traced, so the live critical-path breakdown trims
+    the network + selector-wait share off the learned delays, and the
+    exhibit prints what each policy converged to per shard.
+
+    The headline ``benchmarks/bench_fault_tail.py --check`` pins:
+    attribution's p99 rescue over retry-only is at least the global
+    policy's.
+    """
+    policies = (
+        ("retry-only", ResilienceConfig(**_FAULT_RETRY)),
+        ("global-p95", ResilienceConfig(
+            hedge_percentile=95.0, hedge_min_samples=50, **_FAULT_RETRY)),
+        ("attribution", ResilienceConfig(
+            hedge_percentile=95.0, hedge_min_samples=50,
+            hedge_policy="attribution", **_FAULT_RETRY)),
+    )
+    points: List[Tuple[Any, ExperimentConfig]] = [
+        (label, _fault_point(
+            "doubleface", policy, quick, seed,
+            racks=2, cross_rack_extra_latency=0.5e-3,
+            trace=True, trace_sample=0.25, trace_exemplars=3,
+            label=label))
+        for label, policy in policies]
+    data: Dict[str, Any] = {}
+    summaries: Dict[str, Any] = {}
+    delays: Dict[str, Dict[int, float]] = {}
+    for label, result in _run_points(points, jobs):
+        summary = _fault_summary(result)
+        summary["hedge_clamped"] = result.fault_counters.get(
+            "resilience.hedge_clamped", 0.0)
+        data[label] = summary
+        summaries[label] = result.trace_summary
+        delays[label] = result.hedge_delays
+    labels = [label for label, _policy in policies]
+    rows = [[label,
+             round(1e3 * data[label]["p50"], 2),
+             round(1e3 * data[label]["p99"], 2),
+             round(data[label]["throughput"]),
+             round(data[label]["hedges"]),
+             round(data[label]["hedge_wins"]),
+             round(data[label]["hedge_clamped"])]
+            for label in labels]
+    text = render_table(
+        "Adaptive hedging (DoubleFaceNetty): slow-shard brown-out + "
+        "cross-rack asymmetry",
+        ["policy", "p50 [ms]", "p99 [ms]", "tput [req/s]", "hedges",
+         "hedge wins", "clamped"], rows)
+    text += "\n\n" + render_breakdown(
+        "Adaptive hedging: critical-path breakdown (mean per request)",
+        summaries, hedge_delays=delays)
+    return ExhibitResult(
+        "adaptive_hedge", "Attribution-driven per-shard hedge delays",
+        text, {**data, "trace_summaries": summaries,
+               "hedge_delays": delays})
+
+
 #: Registry used by the CLI and the benchmark suite.
 EXHIBITS: Dict[str, Callable[..., ExhibitResult]] = {
     "fig04": fig04, "fig05": fig05, "fig07": fig07, "fig09": fig09,
     "fig13": fig13, "fig14": fig14, "fig15": fig15, "fig16": fig16,
     "fig17": fig17, "tab1": tab1, "tab2": tab2, "tab3": tab3,
     "fault_tail": fault_tail, "hedging": hedging, "fault_open": fault_open,
-    "ewma_route": ewma_route,
+    "ewma_route": ewma_route, "adaptive_hedge": adaptive_hedge,
 }
 
 
@@ -909,6 +982,7 @@ _EXHIBIT_COST: Dict[str, int] = {
     "fig15": 100, "fig16": 60, "fig17": 60, "fig14": 40, "fig05": 30,
     "fig13": 20, "fig04": 15, "fig09": 10, "fig07": 8,
     "fault_tail": 6, "hedging": 4, "fault_open": 8, "ewma_route": 4,
+    "adaptive_hedge": 4,
     "tab1": 5, "tab2": 4, "tab3": 4,
 }
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "render_series", "render_breakdown", "fmt",
-           "normalize"]
+__all__ = ["render_table", "render_series", "render_breakdown",
+           "render_hedge_delays", "fmt", "normalize"]
 
 
 def fmt(value, width: int = 10, digits: int = 2) -> str:
@@ -74,13 +74,19 @@ def render_series(title: str, x_label: str, xs: Sequence,
     return render_table(title, headers, rows)
 
 
-def render_breakdown(title: str, summaries: Dict[str, dict]) -> str:
+def render_breakdown(title: str, summaries: Dict[str, dict],
+                     hedge_delays: Optional[Dict[str, Dict[int, float]]]
+                     = None) -> str:
     """Critical-path breakdown table from trace summaries.
 
     *summaries* maps a row label to one :func:`repro.trace.build_summary`
     dict; each (label, request class) pair becomes a row of
     mean-per-request milliseconds in every additive category, plus the
     mean response time they sum to.
+
+    *hedge_delays* (label -> {shard: seconds}) optionally appends the
+    per-shard hedge delays the attribution digest converged to, so a
+    traced exhibit can show what the policy actually learned.
     """
     from ..trace import CATEGORIES
     headers = (["label", "class", "n", "rt [ms]"]
@@ -99,6 +105,31 @@ def render_breakdown(title: str, summaries: Dict[str, dict]) -> str:
                  round(1e3 * entry["rt_sum"] / count, 3)]
                 + [round(1e3 * entry["breakdown"][c] / count, 3)
                    for c in CATEGORIES])
+    out = render_table(title, headers, rows)
+    if hedge_delays and any(hedge_delays.values()):
+        out += "\n\n" + render_hedge_delays(
+            f"{title} — learned per-shard hedge delays", hedge_delays)
+    return out
+
+
+def render_hedge_delays(title: str,
+                        delays: Dict[str, Dict[int, float]]) -> str:
+    """Per-shard learned hedge delays: one row per label, min/median/max
+    across shards plus the per-shard millisecond values."""
+    headers = ["label", "shards", "min [ms]", "med [ms]", "max [ms]",
+               "per-shard [ms]"]
+    rows = []
+    for label, table in delays.items():
+        if not table:
+            continue
+        values = sorted(table.values())
+        med = values[len(values) // 2]
+        per_shard = " ".join(
+            f"{shard}:{1e3 * delay:.2f}"
+            for shard, delay in sorted(table.items()))
+        rows.append([label, len(values), round(1e3 * values[0], 3),
+                     round(1e3 * med, 3), round(1e3 * values[-1], 3),
+                     per_shard])
     return render_table(title, headers, rows)
 
 

@@ -223,4 +223,6 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
         fault_counters=fault_counters,
         trace_summary=(build_summary(sim.tracer)
                        if sim.tracer is not None else None),
+        hedge_delays=(server.resilience.learned_delays()
+                      if server.resilience is not None else {}),
     )

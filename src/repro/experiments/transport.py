@@ -82,6 +82,8 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
     columns.extend(result.cpu_shares.values())
     fault_names = tuple(result.fault_counters)
     columns.extend(result.fault_counters.values())
+    hedge_shards = tuple(result.hedge_delays)
+    columns.extend(result.hedge_delays.values())
     n_thread = len(result.thread_times)
     columns.extend(result.thread_times)
     columns.extend(result.thread_values)
@@ -102,6 +104,7 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
         "classes": classes,
         "share_cats": share_cats,
         "fault_names": fault_names,
+        "hedge_shards": hedge_shards,
         "n_thread": n_thread,
         "n_latency": n_latency,
         "selector_stats": result.selector_stats,
@@ -148,6 +151,10 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
     fault_names = header["fault_names"]
     fault_counters = dict(zip(fault_names, cells[pos:pos + len(fault_names)]))
     pos += len(fault_names)
+    hedge_shards = header["hedge_shards"]
+    hedge_delays = dict(zip(hedge_shards,
+                            cells[pos:pos + len(hedge_shards)]))
+    pos += len(hedge_shards)
     n_thread = header["n_thread"]
     thread_times = _take(view, pos, n_thread)
     thread_values = _take(view, pos + n_thread, n_thread)
@@ -171,6 +178,7 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
         latency_times=latency_times,
         latency_values=latency_values,
         fault_counters=fault_counters,
+        hedge_delays=hedge_delays,
         trace_summary=trace_summary,
         **scalars,
     )

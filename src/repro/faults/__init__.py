@@ -15,7 +15,9 @@ architecture under study shares one policy implementation.
 """
 
 from .schedule import FaultConfig, FaultSchedule
+from .digest import AttemptDigest, nearest_rank
 from .resilience import HEDGE_ATTEMPT, ResilienceConfig, ResiliencePolicy
 
 __all__ = ["FaultConfig", "FaultSchedule", "ResilienceConfig",
-           "ResiliencePolicy", "HEDGE_ATTEMPT"]
+           "ResiliencePolicy", "HEDGE_ATTEMPT", "AttemptDigest",
+           "nearest_rank"]

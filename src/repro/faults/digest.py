@@ -1,0 +1,133 @@
+"""Per-(shard, replica) attempt-latency digests for attribution hedging.
+
+The adaptive hedge in :mod:`repro.faults.resilience` historically kept
+one global sliding window shared by every shard, so a single browned-out
+shard dragged the learned percentile for the whole cluster, and
+heterogeneous shards (e.g. rack-remote primaries behind an extra
+cross-rack RTT) were all served one compromise delay.  The
+:class:`AttemptDigest` replaces that with a fixed-size latency ring per
+(shard, replica) pair, fed with *per-attempt* latencies — the winning
+attempt's wire send to arrival — so the policy can answer "how long does
+an attempt against *this* shard (via *this* replica) usually take?" at
+arm time.
+
+The digest is deliberately tracer-independent: it is plain float
+arithmetic on values the resilience policy already sees, costs O(1) per
+completion, draws no randomness, and therefore keeps ``--jobs N``
+float-identical to serial.  Tracing, when enabled, only *refines* the
+digest's output (see ``ResiliencePolicy._hedge_delay``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AttemptDigest", "nearest_rank"]
+
+
+def nearest_rank(n: int, percentile: float) -> int:
+    """Index of the nearest-rank *percentile* in a sorted ``n``-sample
+    list: ``ceil(n * p / 100) - 1``, clamped into ``[0, n - 1]``.
+
+    (The old ``int(n * p / 100)`` sat one rank above the requested
+    percentile — p50 over two samples returned the max.)
+    """
+    if n <= 0:
+        raise ValueError("need n >= 1 samples")
+    rank = math.ceil(n * percentile / 100.0) - 1
+    if rank < 0:
+        return 0
+    return min(n - 1, rank)
+
+
+class _Ring:
+    """Fixed-capacity overwrite ring of floats with a lifetime count."""
+
+    __slots__ = ("values", "pos", "count")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self.pos = 0
+        self.count = 0
+
+    def add(self, value: float, capacity: int) -> None:
+        values = self.values
+        if len(values) < capacity:
+            values.append(value)
+        else:
+            values[self.pos] = value
+            self.pos = (self.pos + 1) % capacity
+        self.count += 1
+
+
+class AttemptDigest:
+    """Sliding per-(shard, replica) attempt-latency percentiles.
+
+    ``window`` bounds each pair's ring, so memory is
+    O(shards x replicas x window) floats at worst and zero until a pair
+    actually completes an attempt.
+    """
+
+    def __init__(self, window: int = 128) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._rings: Dict[Tuple[int, int], _Ring] = {}
+        #: shard -> rings of that shard, for merged-shard fallbacks
+        #: without scanning the full key set.
+        self._by_shard: Dict[int, List[_Ring]] = {}
+        self.observations = 0
+
+    def observe(self, shard: int, replica: int, latency: float) -> None:
+        key = (shard, replica)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = _Ring()
+            self._by_shard.setdefault(shard, []).append(ring)
+        ring.add(latency, self.window)
+        self.observations += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def percentile(self, shard: int, replica: int, p: float,
+                   min_samples: int) -> Optional[float]:
+        """Learned latency for an attempt against (*shard*, *replica*).
+
+        Prefers the pair's own ring; falls back to the shard's merged
+        rings while the pair is cold; returns None when the shard has
+        fewer than *min_samples* total observations (caller falls back
+        to its global window).
+        """
+        ring = self._rings.get((shard, replica))
+        if ring is not None and ring.count >= min_samples:
+            values = sorted(ring.values)
+            return values[nearest_rank(len(values), p)]
+        return self.shard_percentile(shard, p, min_samples)
+
+    def shard_percentile(self, shard: int, p: float,
+                         min_samples: int) -> Optional[float]:
+        """Percentile over *shard*'s rings merged across replicas."""
+        rings = self._by_shard.get(shard)
+        if not rings:
+            return None
+        merged: List[float] = []
+        total = 0
+        for ring in rings:
+            merged.extend(ring.values)
+            total += ring.count
+        if total < min_samples or not merged:
+            return None
+        merged.sort()
+        return merged[nearest_rank(len(merged), p)]
+
+    def learned_delays(self, p: float,
+                       min_samples: int) -> Dict[int, float]:
+        """Converged per-shard delays, for reporting: shard -> merged
+        percentile, shards sorted, cold shards omitted."""
+        out: Dict[int, float] = {}
+        for shard in sorted(self._by_shard):
+            value = self.shard_percentile(shard, p, min_samples)
+            if value is not None:
+                out[shard] = value
+        return out

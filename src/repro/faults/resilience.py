@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..datastore.sharding import ReplicaSelector
 from ..messages import Query, QueryResponse
@@ -54,6 +54,7 @@ from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
 from ..sim.rng import RngStreams
 from ..trace import FLAG_SYNTHESIZED, K_FAILED, K_HEDGE, K_RETRY
+from .digest import AttemptDigest, nearest_rank
 
 __all__ = ["ResilienceConfig", "ResiliencePolicy", "HEDGE_ATTEMPT"]
 
@@ -86,6 +87,21 @@ class ResilienceConfig:
     hedge_percentile: float = 0.0
     hedge_min_samples: int = 50
 
+    #: Where the adaptive hedge delay comes from.  ``"percentile"``
+    #: (default) keeps one global sliding window shared by every shard;
+    #: ``"attribution"`` consults a per-(shard, replica)
+    #: :class:`~repro.faults.digest.AttemptDigest` of per-attempt
+    #: latencies, so each shard hedges at its *own* percentile (and,
+    #: when tracing is on, the live critical-path breakdown trims the
+    #: network + selector-wait share off the learned delay).  Requires
+    #: ``hedge_percentile > 0``; ignored when ``hedge_delay`` is set.
+    hedge_policy: str = "percentile"
+    #: Per-(shard, replica) ring capacity for the attribution digest.
+    digest_window: int = 128
+    #: Minimum observations a shard needs before its digest overrides
+    #: the global window.
+    digest_min_samples: int = 32
+
     #: Route retries and hedges to the next replica (requires
     #: ``replicas_per_shard > 1`` to have any effect).
     failover: bool = True
@@ -105,6 +121,16 @@ class ResilienceConfig:
             raise ValueError("hedge_percentile must be in [0, 100]")
         if self.hedge_min_samples < 1:
             raise ValueError("hedge_min_samples must be >= 1")
+        if self.hedge_policy not in ("percentile", "attribution"):
+            raise ValueError("hedge_policy must be 'percentile' or"
+                             " 'attribution'")
+        if self.hedge_policy == "attribution" and self.hedge_percentile <= 0:
+            raise ValueError("hedge_policy='attribution' requires"
+                             " hedge_percentile > 0")
+        if self.digest_window < 1:
+            raise ValueError("digest_window must be >= 1")
+        if self.digest_min_samples < 1:
+            raise ValueError("digest_min_samples must be >= 1")
 
     @property
     def active(self) -> bool:
@@ -163,6 +189,15 @@ class ResiliencePolicy:
         self._window_pos = 0
         self._completions = 0
         self._hedge_cached: float = -1.0  # <0 = needs recompute
+        #: Per-(shard, replica) attempt-latency digest; only exists
+        #: under ``hedge_policy="attribution"`` so the default hot path
+        #: pays nothing.
+        self._digest: Optional[AttemptDigest] = (
+            AttemptDigest(config.digest_window)
+            if config.hedge_policy == "attribution" else None)
+        #: Attribution delay cache, (shard, replica) -> delay; dropped
+        #: wholesale every REFRESH completions alongside the global one.
+        self._hedge_by_key: Dict[Any, float] = {}
         #: Lazily opened replica connections, keyed by
         #: (primary connection id, shard, replica).  A replica
         #: connection shares the primary's receive endpoint, so failover
@@ -182,14 +217,22 @@ class ResiliencePolicy:
         """Register *query*, just sent on *conn* (to *replica*), for
         supervision."""
         deadline = self.config.subquery_deadline
-        hedge = self._hedge_delay()
+        hedge = self._hedge_delay(query.shard_id, replica)
         if deadline <= 0 and hedge <= 0:
             return
+        if 0 < deadline <= hedge:
+            # A learned delay at/past the deadline used to *silently
+            # disable* hedging (exactly when the old feedback loop had
+            # ratcheted it there).  Clamp so the hedge still fires with
+            # a deadline's-worth of headroom, and count the clamp so
+            # the condition is observable.
+            hedge = 0.5 * deadline
+            self.metrics.add("resilience.hedge_clamped")
         tracker = _SubTracker(query, state, conn, self.sim.now, replica)
         state.session[query.seq] = tracker
         if deadline > 0:
             self.sim.call_later(deadline, self._deadline_cb, tracker)
-        if hedge > 0 and (deadline <= 0 or hedge < deadline):
+        if hedge > 0:
             self.sim.call_later(hedge, self._hedge_cb, tracker)
 
     def on_response(self, state: Any, response: QueryResponse) -> bool:
@@ -220,7 +263,22 @@ class ResiliencePolicy:
             # firing exactly when they are needed most.
             state.failed += 1
         else:
-            self._observe(self.sim.now - tracker.sent_at)
+            # Per-*attempt* latency: the winning attempt's wire send
+            # (``Connection.transmit`` restamps ``Query.sent_at`` for
+            # every resend; the shard echoes it) to arrival.  Measuring
+            # from the tracker's *original* send instead folded the
+            # hedge delay / retry backoff into the observation, so the
+            # adaptive window learned from its own output and ratcheted
+            # the delay upward exactly when hedging mattered.  Stubs
+            # that never stamp the wire fall back to the arm time.
+            sent = response.sent_at
+            if sent <= 0.0:
+                sent = tracker.sent_at
+            latency = self.sim.now - sent
+            self._observe(latency)
+            if self._digest is not None:
+                self._digest.observe(response.shard_id, response.replica,
+                                     latency)
             if response.attempt == HEDGE_ATTEMPT:
                 self.metrics.add("resilience.hedge_wins")
             elif response.attempt > 0:
@@ -342,8 +400,16 @@ class ResiliencePolicy:
         self._completions += 1
         if self._completions % self.REFRESH == 0:
             self._hedge_cached = -1.0
+            if self._hedge_by_key:
+                self._hedge_by_key.clear()
 
-    def _hedge_delay(self) -> float:
+    def _global_percentile(self) -> float:
+        """Nearest-rank percentile over the global sliding window."""
+        values = sorted(self._window)
+        return values[nearest_rank(len(values),
+                                   self.config.hedge_percentile)]
+
+    def _hedge_delay(self, shard: int = -1, replica: int = 0) -> float:
         cfg = self.config
         if cfg.hedge_delay > 0:
             return cfg.hedge_delay
@@ -351,15 +417,65 @@ class ResiliencePolicy:
             return 0.0
         if self._completions < cfg.hedge_min_samples:
             return 0.0
-        if self._hedge_cached < 0:
-            values = sorted(self._window)
-            rank = min(len(values) - 1,
-                       int(len(values) * cfg.hedge_percentile / 100.0))
-            self._hedge_cached = values[rank]
-        return self._hedge_cached
+        if self._digest is None or shard < 0:
+            if self._hedge_cached < 0:
+                self._hedge_cached = self._global_percentile()
+            return self._hedge_cached
+        key = (shard, replica)
+        cached = self._hedge_by_key.get(key)
+        if cached is None:
+            learned = self._digest.percentile(
+                shard, replica, cfg.hedge_percentile,
+                cfg.digest_min_samples)
+            if learned is None:
+                # Shard still cold: the global window is the best
+                # available prior.
+                learned = self._global_percentile()
+            cached = self._hedge_by_key[key] = self._trace_refine(learned)
+        return cached
+
+    def _trace_refine(self, delay: float) -> float:
+        """Trim the live critical-path network + selector-wait share
+        off a learned *delay*, when a tracer is running.
+
+        Per-attempt latency includes the wire RTT and the send-side
+        selector wait; service-side slowness is what a hedge to a
+        sibling replica can actually beat (a slow *rack* should resolve
+        via EWMA replica routing instead).  The mean sampled share of
+        those categories is a deterministic function of the event
+        history, so jobs=N stays float-identical.  Floored at half the
+        learned delay so a network-dominated breakdown can tighten the
+        hedge but never zero it.  This is the one sanctioned exception
+        to "tracing is observation-only", and only under
+        ``hedge_policy="attribution"`` with ``--trace``.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return delay
+        count = 0
+        overhead = 0.0
+        for agg in tracer.classes().values():
+            count += agg.count
+            sums = agg.sums
+            overhead += sums["network"] + sums["selector_wait"]
+        if count == 0:
+            return delay
+        refined = delay - overhead / count
+        floor = 0.5 * delay
+        return refined if refined > floor else floor
 
     # -- reporting ----------------------------------------------------------
 
+    def learned_delays(self) -> Dict[int, float]:
+        """Converged per-shard hedge delays (raw digest percentiles,
+        before any trace refinement), for ``ExperimentResult`` export;
+        empty unless ``hedge_policy="attribution"``."""
+        if self._digest is None:
+            return {}
+        cfg = self.config
+        return self._digest.learned_delays(cfg.hedge_percentile,
+                                           cfg.digest_min_samples)
+
     COUNTERS = ("retries", "retry_wins", "hedges", "hedge_wins",
-                "deadline_misses", "failovers", "failed_subqueries",
-                "duplicates")
+                "hedge_clamped", "deadline_misses", "failovers",
+                "failed_subqueries", "duplicates")

@@ -14,7 +14,8 @@ class TestRegistry:
     def test_all_paper_exhibits_registered(self):
         expected = {"fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
                     "fig15", "fig16", "fig17", "tab1", "tab2", "tab3",
-                    "fault_tail", "hedging", "fault_open", "ewma_route"}
+                    "fault_tail", "hedging", "fault_open", "ewma_route",
+                    "adaptive_hedge"}
         assert set(EXHIBITS) == expected
 
     def test_unknown_exhibit_rejected(self):

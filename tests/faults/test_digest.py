@@ -1,0 +1,106 @@
+"""Unit tests for the attribution digest (repro.faults.digest)."""
+
+import pytest
+
+from repro.faults.digest import AttemptDigest, nearest_rank
+
+
+class TestNearestRank:
+    """``ceil(n * p / 100) - 1``, clamped — the corrected nearest-rank
+    index the resilience policy and the digest share."""
+
+    @pytest.mark.parametrize("n,p,expected", [
+        (1, 50.0, 0),
+        (1, 100.0, 0),
+        (2, 50.0, 0),     # the old int(n*p/100) returned 1 (the max)
+        (2, 100.0, 1),
+        (10, 90.0, 8),
+        (10, 95.0, 9),
+        (100, 95.0, 94),
+        (100, 100.0, 99),
+        (5, 0.0, 0),
+    ])
+    def test_ranks(self, n, p, expected):
+        assert nearest_rank(n, p) == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nearest_rank(0, 50.0)
+
+
+class TestAttemptDigest:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            AttemptDigest(window=0)
+
+    def test_cold_shard_returns_none(self):
+        digest = AttemptDigest()
+        assert digest.percentile(3, 0, 95.0, min_samples=1) is None
+        assert digest.shard_percentile(3, 95.0, min_samples=1) is None
+        assert digest.learned_delays(95.0, min_samples=1) == {}
+
+    def test_pair_percentile_prefers_own_ring(self):
+        digest = AttemptDigest()
+        for _ in range(4):
+            digest.observe(0, 0, 1e-3)
+            digest.observe(0, 1, 9e-3)
+        assert digest.percentile(0, 0, 50.0, min_samples=4) \
+            == pytest.approx(1e-3)
+        assert digest.percentile(0, 1, 50.0, min_samples=4) \
+            == pytest.approx(9e-3)
+
+    def test_cold_pair_falls_back_to_shard_merge(self):
+        digest = AttemptDigest()
+        for _ in range(8):
+            digest.observe(0, 0, 2e-3)
+        # Replica 1 has no samples of its own; the merged shard view
+        # answers for it.
+        assert digest.percentile(0, 1, 50.0, min_samples=4) \
+            == pytest.approx(2e-3)
+
+    def test_min_samples_gates_per_pair_and_per_shard(self):
+        digest = AttemptDigest()
+        digest.observe(0, 0, 1e-3)
+        digest.observe(0, 1, 2e-3)
+        # Each pair has 1 < 4 samples and the shard total (2) is still
+        # short of min_samples=4.
+        assert digest.percentile(0, 0, 50.0, min_samples=4) is None
+        digest.observe(0, 0, 1e-3)
+        digest.observe(0, 1, 2e-3)
+        # Shard total reaches 4: the merged fallback now answers, even
+        # though each pair alone is still cold.
+        assert digest.percentile(0, 0, 50.0, min_samples=4) \
+            == pytest.approx(1e-3)
+
+    def test_ring_overwrites_oldest(self):
+        digest = AttemptDigest(window=4)
+        for _ in range(8):
+            digest.observe(0, 0, 10e-3)
+        for _ in range(4):
+            digest.observe(0, 0, 1e-3)
+        # The ring holds only the 4 newest values; the old 10 ms regime
+        # has been fully evicted.
+        assert digest.percentile(0, 0, 100.0, min_samples=4) \
+            == pytest.approx(1e-3)
+
+    def test_learned_delays_sorted_and_merged(self):
+        digest = AttemptDigest()
+        for _ in range(4):
+            digest.observe(7, 0, 3e-3)
+            digest.observe(2, 0, 1e-3)
+            digest.observe(2, 1, 1e-3)
+        delays = digest.learned_delays(50.0, min_samples=4)
+        assert list(delays) == [2, 7]
+        assert delays[2] == pytest.approx(1e-3)
+        assert delays[7] == pytest.approx(3e-3)
+
+    def test_shards_are_independent(self):
+        digest = AttemptDigest()
+        for _ in range(16):
+            digest.observe(0, 0, 1e-3)
+            digest.observe(1, 0, 8e-3)
+        assert digest.percentile(0, 0, 95.0, min_samples=8) \
+            == pytest.approx(1e-3)
+        assert digest.percentile(1, 0, 95.0, min_samples=8) \
+            == pytest.approx(8e-3)
+        assert digest.observations == 32

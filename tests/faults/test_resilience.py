@@ -95,6 +95,12 @@ class TestResilienceConfig:
         dict(hedge_delay=-1e-3),
         dict(hedge_percentile=101.0),
         dict(hedge_min_samples=0),
+        dict(hedge_policy="magic"),
+        dict(hedge_policy="attribution"),  # needs hedge_percentile > 0
+        dict(hedge_policy="attribution", hedge_percentile=95.0,
+             digest_window=0),
+        dict(hedge_policy="attribution", hedge_percentile=95.0,
+             digest_min_samples=0),
     ])
     def test_validation_rejects(self, kwargs):
         with pytest.raises(ValueError):
@@ -223,7 +229,10 @@ class TestHedging:
             # feed the observation window directly.
             policy._observe(1e-3 * (seq + 1))
         delay = policy._hedge_delay()
-        assert delay == pytest.approx(1e-3 * 10)  # p90 rank of 1..10 ms
+        # Nearest-rank p90 over 1..10 ms: ceil(10 * 0.9) = rank 9, i.e.
+        # the 9 ms sample (the old ``int(n*p/100)`` rank sat one above
+        # the requested percentile and returned 10 ms here).
+        assert delay == pytest.approx(1e-3 * 9)
 
     def test_unarmed_response_passes_through(self):
         config = ResilienceConfig(hedge_percentile=90.0,
@@ -280,6 +289,244 @@ class TestHedging:
         sim.run(until=2e-3)
         assert metrics.raw_count("resilience.hedges") == 2
         assert cluster.opened == [(3, 1), (3, 2)]
+
+
+class TestPerAttemptObservation:
+    """Headline regression: the adaptive hedge must learn *per-attempt*
+    latency (winning-attempt wire send -> arrival, via the response's
+    echoed ``sent_at`` stamp), never original-send-relative latency.
+
+    Pre-fix, ``on_response`` fed ``now - tracker.sent_at`` into the
+    percentile window; a hedge win's "latency" then included the hedge
+    delay itself, so each REFRESH recomputed a higher delay from its own
+    previous output — a positive feedback loop that ratcheted the
+    learned delay toward the deadline exactly when hedging mattered."""
+
+    HEALTHY = 1e-3       # healthy-replica per-attempt latency
+    DEADLINE = 50e-3     # far above anything the loop can ratchet to
+
+    def _converged_policy(self):
+        config = ResilienceConfig(subquery_deadline=self.DEADLINE,
+                                  max_retries=0, backoff_jitter=0.0,
+                                  hedge_percentile=95.0,
+                                  hedge_min_samples=50)
+        sim, metrics, cluster, policy = make_policy(config)
+        for _ in range(policy.WINDOW):   # healthy completions: 1 ms
+            policy._observe(self.HEALTHY)
+        assert policy._hedge_delay() == pytest.approx(self.HEALTHY)
+        return sim, metrics, cluster, policy
+
+    def test_steady_slow_shard_converges_to_healthy_percentile(self):
+        """Steady 10x-slow shard: the primary never answers first, every
+        win is a hedge to the healthy replica.  The cached hedge delay
+        must stay at ~the healthy-replica percentile (pre-fix it
+        ratcheted up by ~one hedge delay per REFRESH period)."""
+        sim, metrics, _cluster, policy = self._converged_policy()
+        state = FakeState()
+        policy.attach(state)
+        conn = FakeConn()
+        rounds = 6 * policy.REFRESH
+        for seq in range(rounds):
+            start = sim.now
+            query = make_query(seq=seq, context=state)
+            policy.arm(state, query, conn)
+            delay = policy._hedge_delay()
+            assert 0.0 < delay < self.DEADLINE
+            sim.run(until=start + delay)          # the hedge fires
+            response = make_response(query, attempt=HEDGE_ATTEMPT)
+            # Wire stamp of the winning (hedged) attempt, as
+            # Connection.transmit restamps it at hedge-send time.
+            response.sent_at = start + delay
+            sim.run(until=start + delay + self.HEALTHY)
+            assert policy.on_response(state, response)
+        assert metrics.raw_count("resilience.hedges") == rounds
+        # The learned delay reflects per-attempt latency, not the
+        # compounding (delay + attempt) sums of the old feedback loop,
+        # which by now would have ratcheted past 4 ms on its way to the
+        # deadline.
+        assert policy._hedge_delay() == pytest.approx(self.HEALTHY)
+
+    def test_retry_win_observes_attempt_latency(self):
+        """A retry win's observation is measured from the *retry's*
+        wire send, not the original send (which would fold the deadline
+        plus backoff into the learned percentile)."""
+        config = ResilienceConfig(subquery_deadline=1e-3, max_retries=1,
+                                  backoff_base=0.2e-3, backoff_cap=0.2e-3,
+                                  backoff_jitter=0.0,
+                                  hedge_percentile=95.0,
+                                  hedge_min_samples=500)
+        sim, metrics, cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=1.5e-3)   # deadline missed, retry transmitted
+        assert metrics.raw_count("resilience.retries") == 1
+        retry_sent = 1.2e-3     # deadline (1 ms) + backoff (0.2 ms)
+        healthy = 0.5e-3
+        response = make_response(query, attempt=1)
+        response.sent_at = retry_sent
+        sim.run(until=retry_sent + healthy)
+        assert policy.on_response(state, response)
+        assert len(policy._window) == 1
+        # Per-attempt: 0.5 ms.  Original-send-relative would be 1.7 ms.
+        assert policy._window[0] == pytest.approx(healthy)
+
+    def test_unstamped_response_falls_back_to_arm_time(self):
+        """Stub responses without a wire stamp (sent_at == 0) still get
+        a sane observation: latency relative to the arm time."""
+        config = ResilienceConfig(subquery_deadline=10e-3,
+                                  hedge_percentile=95.0,
+                                  hedge_min_samples=500)
+        sim, _metrics, _cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=2e-3)
+        assert policy.on_response(state, make_response(query))
+        assert policy._window[0] == pytest.approx(2e-3)
+
+
+class TestNearestRankPercentile:
+    """Regression: ``int(n * p / 100)`` sits one rank above the
+    requested nearest-rank percentile; the fix is ``ceil(n*p/100) - 1``."""
+
+    def _delay(self, percentile, samples, min_samples=1):
+        config = ResilienceConfig(hedge_percentile=percentile,
+                                  hedge_min_samples=min_samples)
+        _sim, _metrics, _cluster, policy = make_policy(config)
+        for value in samples:
+            policy._observe(value)
+        return policy._hedge_delay()
+
+    def test_p50_of_two_samples_is_lower_value(self):
+        # Pre-fix: int(2 * 0.5) = rank 1 = the max.
+        assert self._delay(50.0, [1e-3, 9e-3]) == pytest.approx(1e-3)
+
+    def test_single_sample_any_percentile(self):
+        assert self._delay(50.0, [3e-3]) == pytest.approx(3e-3)
+        assert self._delay(100.0, [3e-3]) == pytest.approx(3e-3)
+
+    def test_p100_is_max(self):
+        assert self._delay(100.0, [1e-3, 2e-3, 9e-3]) == pytest.approx(9e-3)
+
+    def test_p95_of_100_samples_is_95th_rank(self):
+        samples = [1e-3 * (i + 1) for i in range(100)]
+        # Nearest rank ceil(100 * 0.95) = 95 -> the 95 ms sample
+        # (pre-fix rank 96).
+        assert self._delay(95.0, samples) == pytest.approx(95e-3)
+
+
+class TestHedgeDeadlineClamp:
+    """Regression: a learned/fixed hedge delay >= the sub-query deadline
+    used to *silently disable* hedging (the ``hedge < deadline`` guard).
+    It must clamp to fire before the deadline, observably."""
+
+    def test_hedge_at_or_past_deadline_clamps(self):
+        config = ResilienceConfig(subquery_deadline=1e-3, max_retries=1,
+                                  backoff_base=0.2e-3, backoff_cap=0.4e-3,
+                                  backoff_jitter=0.0, hedge_delay=2e-3)
+        sim, metrics, cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=0.9e-3)   # before the deadline
+        assert metrics.raw_count("resilience.hedges") == 1
+        assert metrics.raw_count("resilience.hedge_clamped") == 1
+        assert cluster.opened == [(query.shard_id, 1)]
+
+    def test_hedge_below_deadline_not_clamped(self):
+        config = ResilienceConfig(subquery_deadline=1e-3, max_retries=1,
+                                  backoff_base=0.2e-3, backoff_cap=0.4e-3,
+                                  backoff_jitter=0.0, hedge_delay=0.4e-3)
+        sim, metrics, _cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        policy.arm(state, make_query(context=state), FakeConn())
+        sim.run(until=0.9e-3)
+        assert metrics.raw_count("resilience.hedges") == 1
+        assert metrics.raw_count("resilience.hedge_clamped") == 0
+
+
+class FakeAgg:
+    def __init__(self, count, network, selector_wait):
+        self.count = count
+        self.sums = {"network": network, "service": 0.0, "cpu_queue": 0.0,
+                     "selector_wait": selector_wait, "retry_hedge": 0.0,
+                     "driver": 0.0}
+
+
+class FakeTracer:
+    def __init__(self, aggs):
+        self._aggs = aggs
+
+    def classes(self):
+        return self._aggs
+
+
+class TestAttributionPolicy:
+    CONFIG = ResilienceConfig(hedge_percentile=90.0, hedge_min_samples=10,
+                              hedge_policy="attribution",
+                              digest_min_samples=8)
+
+    def test_per_shard_delays_diverge(self):
+        """Attribution answers each shard from its own digest; cold
+        shards fall back to the global window."""
+        _sim, _metrics, _cluster, policy = make_policy(self.CONFIG)
+        for _ in range(16):
+            policy._observe(1e-3)
+            policy._digest.observe(0, 0, 1e-3)
+            policy._digest.observe(1, 0, 4e-3)
+        assert policy._hedge_delay(0, 0) == pytest.approx(1e-3)
+        assert policy._hedge_delay(1, 0) == pytest.approx(4e-3)
+        # Shard 5 has no digest samples: global window answers.
+        assert policy._hedge_delay(5, 0) == pytest.approx(1e-3)
+        delays = policy.learned_delays()
+        assert delays[0] == pytest.approx(1e-3)
+        assert delays[1] == pytest.approx(4e-3)
+        assert 5 not in delays
+
+    def test_winning_response_feeds_digest(self):
+        config = ResilienceConfig(subquery_deadline=50e-3,
+                                  hedge_percentile=95.0,
+                                  hedge_policy="attribution")
+        sim, _metrics, _cluster, policy = make_policy(config)
+        state = FakeState()
+        policy.attach(state)
+        query = make_query(context=state)
+        policy.arm(state, query, FakeConn())
+        sim.run(until=2e-3)
+        response = make_response(query)
+        response.sent_at = 0.5e-3
+        response.replica = 0
+        assert policy.on_response(state, response)
+        assert policy._digest.observations == 1
+        # Keyed by the responding (shard, replica), per-attempt latency.
+        ring = policy._digest._rings[(query.shard_id, 0)]
+        assert ring.values == [pytest.approx(1.5e-3)]
+
+    def test_trace_refinement_trims_network_share(self):
+        sim, _metrics, _cluster, policy = make_policy(self.CONFIG)
+        # 4 sampled requests spending a mean 0.5 ms in network +
+        # selector wait: the learned delay shrinks by exactly that.
+        sim.tracer = FakeTracer(
+            {"default": FakeAgg(4, network=4 * 0.4e-3,
+                                selector_wait=4 * 0.1e-3)})
+        assert policy._trace_refine(2e-3) == pytest.approx(1.5e-3)
+
+    def test_trace_refinement_floors_at_half(self):
+        sim, _metrics, _cluster, policy = make_policy(self.CONFIG)
+        sim.tracer = FakeTracer(
+            {"default": FakeAgg(4, network=4 * 5e-3, selector_wait=0.0)})
+        # Network dominates the breakdown: the refinement may tighten
+        # the hedge but never zero (or negate) it.
+        assert policy._trace_refine(2e-3) == pytest.approx(1e-3)
+
+    def test_untraced_refinement_is_identity(self):
+        _sim, _metrics, _cluster, policy = make_policy(self.CONFIG)
+        assert policy._trace_refine(2e-3) == pytest.approx(2e-3)
 
 
 class TestSessionCleanup:

@@ -129,7 +129,12 @@ class TestFaultTailAttribution:
             concurrency=16, fanout=5, duration=0.8, faults=faults,
             resilience=resilience, replicas_per_shard=2, trace=True,
             trace_sample=1.0, trace_exemplars=5))
-        assert result.fault_counters.get("resilience.retries", 0) > 0
+        # Not vacuous: the resilience machinery fired.  (Since the
+        # per-attempt latency fix the learned hedge converges near the
+        # healthy percentile, so hedges rescue slow sub-queries before
+        # the 5 ms deadline can schedule a retry.)
+        assert result.fault_counters.get("resilience.hedges", 0) > 0
+        assert result.fault_counters.get("resilience.hedge_wins", 0) > 0
         p99 = result.percentiles[99.0]
         exemplars = result.trace_summary["classes"]["default"]["exemplars"]
         assert len(exemplars) == 5
@@ -137,12 +142,14 @@ class TestFaultTailAttribution:
         assert slowest["rt"] >= p99
         # The critical sub-query needed more than one wire attempt, and
         # the time lost waiting out the slow shard before the winning
-        # resend dominates the breakdown.
+        # resend is the single largest category.  (It no longer exceeds
+        # half the rt: the converged hedge fires around 1.7 ms, well
+        # before the 5 ms deadline, so the whole tail is shorter.)
         assert slowest["attempts"] >= 2
         breakdown = slowest["breakdown"]
         assert breakdown["retry_hedge"] == max(
             breakdown[c] for c in CATEGORIES)
-        assert breakdown["retry_hedge"] > 0.5 * slowest["rt"]
+        assert breakdown["retry_hedge"] > 0.25 * slowest["rt"]
 
 
 class TestEwmaCrossRackRouting:
