@@ -32,6 +32,10 @@ Measures the hot paths the exhibit harness spends its time in:
   paired untraced/traced wall-time ratios over identical simulations
   (tracing adds no kernel events, so the wall ratio *is* the
   events/sec ratio).  ``--check`` pins it ≥ ``TRACE_OVERHEAD_FLOOR``.
+- ``obs_overhead_ratio`` — the full observability stack on the same
+  shape: 1%-sampled tracing + flame aggregation + the telemetry
+  ticker at the default 10 ms period vs the plain run, paired-median
+  like the trace ratio.  ``--check`` pins it ≥ ``OBS_OVERHEAD_FLOOR``.
 - ``quick_exhibit_wall_sec`` — one representative end-to-end quick
   exhibit (``tab3``) through :func:`run_exhibit`.
 
@@ -75,6 +79,11 @@ COALESCE_SPEEDUP_FLOOR = 1.3
 #: on the exhibit-shaped workload (ratio of untraced to traced rate
 #: must stay above this; ratios are machine-portable).
 TRACE_OVERHEAD_FLOOR = 0.9
+
+#: --check fails if the full observability stack (1%-sampled tracing +
+#: flame aggregation + the 10 ms telemetry ticker) costs more than 10%
+#: wall time on the same exhibit-shaped workload.
+OBS_OVERHEAD_FLOOR = 0.9
 
 
 def bench_timeouts(processes: int = 50, chain: int = 2000) -> float:
@@ -277,6 +286,38 @@ def bench_trace_overhead(rounds: int = 3, duration: float = 0.5) -> float:
     return ratios[len(ratios) // 2]
 
 
+def bench_obs_overhead(rounds: int = 3, duration: float = 0.5) -> float:
+    """Full-observability cost on the exhibit-shaped run.
+
+    Same paired-median protocol as :func:`bench_trace_overhead`, but
+    the observed side carries the whole stack: tracing at 1% (with the
+    per-request flame fold in ``Tracer.finish``) plus the telemetry
+    ticker at the default 10 ms period.  The ticker's events shift seq
+    numbers only, so both sides still simulate the identical schedule
+    and the wall ratio stays an apples-to-apples cost measure.
+    1.0 = free; 0.9 = observability costs 10%.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    def run(observed):
+        config = ExperimentConfig(
+            server="doubleface", concurrency=16, fanout=5,
+            response_size=100, warmup=0.2, duration=duration, seed=42,
+            trace=observed, trace_sample=0.01, obs=observed)
+        started = time.perf_counter()
+        run_experiment(config)
+        return time.perf_counter() - started
+
+    ratios = []
+    for _ in range(rounds):
+        elapsed_plain = run(observed=False)
+        elapsed_observed = run(observed=True)
+        ratios.append(elapsed_plain / elapsed_observed)
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
+
 def bench_quick_exhibit() -> float:
     """Wall-clock seconds for one representative quick exhibit."""
     from repro.experiments.figures import run_exhibit
@@ -334,6 +375,9 @@ def run_all(with_exhibit: bool = True, quick: bool = False,
     metrics["trace_overhead_ratio"] = round(
         bench_trace_overhead(rounds=3 if quick else 5,
                              duration=0.4 if quick else 0.8), 3)
+    metrics["obs_overhead_ratio"] = round(
+        bench_obs_overhead(rounds=3 if quick else 5,
+                           duration=0.4 if quick else 0.8), 3)
     if with_exhibit:
         metrics["quick_exhibit_wall_sec"] = round(bench_quick_exhibit(), 2)
     return metrics
@@ -447,6 +491,14 @@ def main(argv=None) -> int:
             print(f"check {'trace_overhead_ratio':28s} {overhead:5.3f}x "
                   f"(floor {TRACE_OVERHEAD_FLOOR}x) [{status}]")
             if overhead < TRACE_OVERHEAD_FLOOR:
+                failures += 1
+        obs_overhead = metrics.get("obs_overhead_ratio")
+        if obs_overhead is not None:
+            status = ("ok" if obs_overhead >= OBS_OVERHEAD_FLOOR
+                      else "REGRESSED")
+            print(f"check {'obs_overhead_ratio':28s} {obs_overhead:5.3f}x "
+                  f"(floor {OBS_OVERHEAD_FLOOR}x) [{status}]")
+            if obs_overhead < OBS_OVERHEAD_FLOOR:
                 failures += 1
         if failures:
             print(f"check FAILED: {failures} metric(s) regressed >20%")

@@ -1,114 +1,26 @@
 #!/usr/bin/env python
-"""Validate a Chrome ``trace_event`` JSON file written by ``--trace-out``.
+"""Validate trace/observability artifacts against their exporter schemas.
 
 Usage::
 
-    python scripts/check_trace_schema.py /path/to/trace.json
+    python scripts/check_trace_schema.py PATH [PATH ...]
 
-Checks the invariants the exporter guarantees (and that
-chrome://tracing / Perfetto rely on to render anything at all):
-
-- top level is ``{"traceEvents": [...], "displayTimeUnit": "ms"}``;
-- every event has ``name``/``ph``/``pid``/``tid`` with ``ph`` one of
-  ``M`` (metadata), ``X`` (complete span), ``i`` (instant);
-- ``X`` events carry non-negative ``ts`` and positive ``dur``;
-- ``i`` events carry ``ts`` and thread scope (``"s": "t"``);
-- every (pid, tid) with spans is named by ``M`` metadata events;
-- span names are known span kinds, and at least one real span exists.
-
-Exits 0 when valid, 1 with a message on the first violation — CI runs
-it against a freshly traced exhibit so a schema drift in the exporter
-fails the build rather than silently producing files Perfetto rejects.
+Thin CLI shim over :mod:`repro.trace.schema`, which holds the actual
+validators (Chrome ``trace_event`` JSON from ``--trace-out``,
+collapsed-stack / speedscope flame output from ``--flame-out``, and
+the ``--prom-out`` Prometheus snapshot).  The format is sniffed from
+the file content.  Exits 0 when every file is valid, 1 with a one-line
+message on the first violation — CI runs it against freshly exported
+artifacts so schema drift fails the build rather than silently
+producing files Perfetto or speedscope reject.
 """
 
-import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.trace import KIND_NAMES  # noqa: E402
-
-_META_NAMES = {"process_name", "thread_name"}
-
-
-def fail(message):
-    print(f"trace schema check FAILED: {message}", file=sys.stderr)
-    raise SystemExit(1)
-
-
-def check(path):
-    try:
-        doc = json.loads(Path(path).read_text(encoding="utf-8"))
-    except ValueError as exc:
-        fail(f"{path} is not valid JSON: {exc}")
-    if not isinstance(doc, dict):
-        fail("top level must be a JSON object")
-    if doc.get("displayTimeUnit") != "ms":
-        fail(f"displayTimeUnit must be 'ms', got "
-             f"{doc.get('displayTimeUnit')!r}")
-    events = doc.get("traceEvents")
-    if not isinstance(events, list) or not events:
-        fail("traceEvents must be a non-empty list")
-
-    named_processes = set()
-    named_threads = set()
-    spans = 0
-    instants = 0
-    for i, event in enumerate(events):
-        where = f"traceEvents[{i}]"
-        if not isinstance(event, dict):
-            fail(f"{where} is not an object")
-        for key in ("name", "ph", "pid", "tid"):
-            if key not in event:
-                fail(f"{where} missing {key!r}")
-        ph = event["ph"]
-        if ph == "M":
-            if event["name"] not in _META_NAMES:
-                fail(f"{where}: unknown metadata event {event['name']!r}")
-            if not event.get("args", {}).get("name"):
-                fail(f"{where}: metadata event without args.name")
-            if event["name"] == "process_name":
-                named_processes.add(event["pid"])
-            else:
-                named_threads.add((event["pid"], event["tid"]))
-            continue
-        if ph not in ("X", "i"):
-            fail(f"{where}: unexpected phase {ph!r}")
-        if event["name"] not in KIND_NAMES:
-            fail(f"{where}: unknown span kind {event['name']!r}")
-        if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
-            fail(f"{where}: bad ts {event.get('ts')!r}")
-        if ph == "X":
-            spans += 1
-            if not isinstance(event.get("dur"), (int, float)) \
-                    or event["dur"] <= 0:
-                fail(f"{where}: X event needs positive dur, got "
-                     f"{event.get('dur')!r}")
-        else:
-            instants += 1
-            if event.get("s") != "t":
-                fail(f"{where}: instant event needs thread scope 's': 't'")
-        if event["pid"] not in named_processes:
-            fail(f"{where}: pid {event['pid']} has no process_name "
-                 f"metadata")
-        if (event["pid"], event["tid"]) not in named_threads:
-            fail(f"{where}: tid {event['tid']} (pid {event['pid']}) has "
-                 f"no thread_name metadata")
-    if spans == 0:
-        fail("no complete (ph='X') span events at all")
-    print(f"trace schema OK: {len(events)} events "
-          f"({len(named_processes)} processes, {len(named_threads)} "
-          f"threads, {spans} spans, {instants} instants) in {path}")
-
-
-def main(argv):
-    if len(argv) != 2:
-        print(__doc__)
-        return 2
-    check(argv[1])
-    return 0
-
+from repro.trace.schema import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main(sys.argv[1:]))

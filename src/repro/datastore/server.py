@@ -82,6 +82,13 @@ class ShardServer:
         for i in range(params.shard_concurrency):
             sim.process(self._serve_loop(), name=f"{self.name}-srv{i}")
 
+    @property
+    def inbox_depth(self) -> int:
+        """Queries queued in the inbox, not yet picked up by a serve
+        loop (telemetry diagnostics; reading it never perturbs the
+        queue)."""
+        return len(self._inbox)
+
     # -- connectivity -------------------------------------------------------
 
     def accept(self, latency: Optional[float] = None) -> Connection:

@@ -63,7 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH", default=None,
         help="with --trace: write the collected exemplar traces as "
              "Chrome trace_event JSON to PATH (open in "
-             "chrome://tracing or https://ui.perfetto.dev)")
+             "chrome://tracing or https://ui.perfetto.dev), with "
+             "workload phases (warmup / measure / fault windows) as "
+             "annotation tracks.  Parent directories are created.")
+    parser.add_argument(
+        "--flame-out", metavar="PATH", default=None,
+        help="with --trace: write the cross-request flame aggregation "
+             "to PATH — speedscope JSON when PATH ends in .json "
+             "(open at https://speedscope.app), flamegraph.pl "
+             "collapsed-stack text otherwise.  Parent directories are "
+             "created.")
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="run every experiment point with phase-annotated live "
+             "telemetry: a simulated-time ticker samples gauges "
+             "(queue depths, hedge/retry rates, replica estimates, "
+             "CPU run queue).  Observation-only — the measured "
+             "numbers are identical with or without it.")
+    parser.add_argument(
+        "--obs-period", type=float, default=0.01, metavar="S",
+        help="with --obs: gauge sampling period in simulated seconds "
+             "(default 0.01)")
+    parser.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="with --obs: write end-of-run Prometheus text-format "
+             "snapshots for every experiment point to PATH.  Parent "
+             "directories are created.")
     parser.add_argument(
         "--profile", metavar="PATH", default=None,
         help="profile the run under cProfile, dump raw stats to PATH "
@@ -89,6 +114,16 @@ def main(argv=None) -> int:
     if args.trace_out and not args.trace:
         print("--trace-out requires --trace", file=sys.stderr)
         return 2
+    if args.flame_out and not args.trace:
+        print("--flame-out requires --trace", file=sys.stderr)
+        return 2
+    if args.obs_period <= 0:
+        print(f"--obs-period must be positive, got {args.obs_period}",
+              file=sys.stderr)
+        return 2
+    if args.prom_out and not args.obs:
+        print("--prom-out requires --obs", file=sys.stderr)
+        return 2
     if args.profile:
         return _profiled_main(args)
     return _run(args)
@@ -112,17 +147,64 @@ def _profiled_main(args) -> int:
 
 
 def _write_trace_out(path: str, results) -> None:
-    """Merge every exhibit's collected trace summaries into one Chrome
-    trace_event file."""
+    """Merge every exhibit's collected trace summaries (and phase
+    windows) into one Chrome trace_event file."""
     from ..trace import write_chrome_trace
     summaries = {}
+    phases = {}
     for name, result in results:
         for label, summary in result.data.get("trace_summaries",
                                               {}).items():
             if summary is not None:
                 summaries[f"{name}/{label}"] = summary
-    write_chrome_trace(path, summaries)
-    print(f"[trace written to {path}: {len(summaries)} summaries]")
+        for label, windows in result.data.get("trace_phases", {}).items():
+            if windows:
+                phases[f"{name}/{label}"] = windows
+    write_chrome_trace(path, summaries, phases=phases)
+    print(f"[trace written to {path}: {len(summaries)} summaries, "
+          f"{len(phases)} phase tracks]")
+
+
+def _write_flame_out(path: str, results) -> None:
+    """Merge every exhibit's flame aggregations into one export."""
+    from ..trace import write_flame
+    flames = {}
+    for name, result in results:
+        for label, flame in result.data.get("flames", {}).items():
+            if flame is not None:
+                flames[f"{name}/{label}"] = flame
+    kind = write_flame(path, flames)
+    print(f"[flame ({kind}) written to {path}: {len(flames)} runs]")
+
+
+def _write_prom_out(path: str, results) -> None:
+    """Concatenate every exhibit's Prometheus snapshots into one page."""
+    from ..obs import write_prometheus
+    snapshots = {}
+    for name, result in results:
+        for label, text in result.data.get("prometheus", {}).items():
+            snapshots[f"{name}/{label}"] = text
+    write_prometheus(path, snapshots)
+    print(f"[prometheus snapshot written to {path}: "
+          f"{len(snapshots)} runs]")
+
+
+def _write_artifacts(args, results) -> int:
+    """Write every requested export; one clear line + exit 1 on I/O
+    failure (missing parents are created, unwritable paths are not)."""
+    writers = [(args.trace_out, _write_trace_out),
+               (args.flame_out, _write_flame_out),
+               (args.prom_out, _write_prom_out)]
+    for path, writer in writers:
+        if not path:
+            continue
+        try:
+            writer(path, results)
+        except OSError as exc:
+            print(f"cannot write {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 1
+    return 0
 
 
 def _run(args) -> int:
@@ -133,7 +215,8 @@ def _run(args) -> int:
                   f"{sorted(EXHIBITS)} or 'all'", file=sys.stderr)
             return 2
     trace_kw = dict(trace=args.trace, trace_sample=args.trace_sample,
-                    trace_exemplars=args.trace_exemplars)
+                    trace_exemplars=args.trace_exemplars,
+                    obs=args.obs, obs_period=args.obs_period)
     if len(names) > 1 and args.jobs != 1:
         # Interleave every requested exhibit's points over one shared
         # pool: slow tail-window points overlap with cheap tables.
@@ -147,10 +230,7 @@ def _run(args) -> int:
             print()
         print(f"[{len(names)} exhibits regenerated (interleaved, "
               f"jobs={args.jobs}) in {elapsed:.1f}s wall time]")
-        if args.trace_out:
-            _write_trace_out(args.trace_out,
-                             [(n, results[n]) for n in names])
-        return 0
+        return _write_artifacts(args, [(n, results[n]) for n in names])
     collected = []
     for name in names:
         started = time.time()
@@ -162,9 +242,7 @@ def _run(args) -> int:
         print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
         print()
         collected.append((name, result))
-    if args.trace_out:
-        _write_trace_out(args.trace_out, collected)
-    return 0
+    return _write_artifacts(args, collected)
 
 
 if __name__ == "__main__":  # pragma: no cover

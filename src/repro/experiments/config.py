@@ -106,6 +106,13 @@ class ExperimentConfig:
     trace_sample: float = 0.01
     #: Slowest-request exemplar traces kept per request class.
     trace_exemplars: int = 3
+    #: Phase-annotated live telemetry (``repro.obs``): a simulated-time
+    #: ticker samples gauge time-series (queue depths, hedge/retry
+    #: rates, replica estimates, CPU run queue).  Observation-only —
+    #: enabling it never changes any measured result.
+    obs: bool = False
+    #: Telemetry sampling period [simulated s].
+    obs_period: float = 0.01
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -153,6 +160,8 @@ class ExperimentConfig:
             raise ValueError("trace_sample must be in (0, 1]")
         if self.trace_exemplars < 1:
             raise ValueError("trace_exemplars must be >= 1")
+        if self.obs_period <= 0:
+            raise ValueError("obs_period must be positive")
         if not self.label:
             self.label = self.server
 
@@ -221,6 +230,20 @@ class ExperimentResult:
     #: attribution digest converged to; empty unless
     #: ``resilience.hedge_policy == "attribution"``.
     hedge_delays: Dict[int, float] = field(default_factory=dict)
+    #: Telemetry gauge names when ``config.obs`` was set (column order
+    #: matches ``obs_values``); empty otherwise.
+    obs_names: Tuple[str, ...] = ()
+    #: Shared telemetry time column and one value column per gauge.
+    obs_times: array = field(default_factory=_empty_column)
+    obs_values: List[array] = field(default_factory=list)
+    #: Workload phases as (name, start, end) windows over the run
+    #: (warmup / measure plus every realized fault window); populated
+    #: when tracing or telemetry was on.
+    phases: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: Cross-request flame aggregation
+    #: (:func:`repro.trace.build_flame`) when ``config.trace`` was set;
+    #: None on untraced runs.
+    flame: Optional[Dict[str, Any]] = None
 
     @property
     def thread_samples(self) -> List[Tuple[float, float]]:
@@ -231,6 +254,12 @@ class ExperimentResult:
     def latency_samples(self) -> List[Tuple[float, float]]:
         """Row view of the latency-sample columns: [(t, rt), ...]."""
         return list(zip(self.latency_times, self.latency_values))
+
+    @property
+    def obs_gauges(self) -> Dict[str, array]:
+        """Name -> value-column view of the telemetry series (shared
+        arrays, not copies; all share ``obs_times``)."""
+        return dict(zip(self.obs_names, self.obs_values))
 
     def percentile(self, q: float) -> float:
         return self.percentiles[q]

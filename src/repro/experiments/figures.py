@@ -21,10 +21,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..faults import FaultConfig, ResilienceConfig
+from ..obs import DEFAULT_OBS_PERIOD, prometheus_snapshot
 from ..sim.params import KB
 from .config import ExperimentConfig
 from .parallel import BatchExecutor, resolve_jobs, run_experiments
-from .report import normalize, render_breakdown, render_series, render_table
+from .report import (normalize, render_breakdown, render_flame,
+                     render_series, render_table)
 
 __all__ = ["ExhibitResult", "EXHIBITS", "run_exhibit", "run_exhibits",
            "fig04", "fig05", "fig07", "fig09", "fig13", "fig14",
@@ -48,11 +50,18 @@ _TRANSPORT: Optional[str] = None
 
 #: When set (by :func:`run_exhibit` with ``trace=True``), every point
 #: an exhibit declares runs with span tracing forced on
-#: (``{"sample": rate, "exemplars": n, "summaries": {}}``), and each
-#: point's trace summary is stashed under a deterministic
-#: ``label#index (key)`` name for the breakdown table and the Chrome
-#: export.  Same set/run/restore discipline as ``_TRANSPORT``.
+#: (``{"sample": rate, "exemplars": n, "summaries": {}, "flames": {},
+#: "phases": {}}``), and each point's trace summary, flame
+#: aggregation, and phase windows are stashed under a deterministic
+#: ``label#index (key)`` name for the breakdown/flame tables and the
+#: Chrome export.  Same set/run/restore discipline as ``_TRANSPORT``.
 _TRACE: Optional[Dict[str, Any]] = None
+
+#: When set (by :func:`run_exhibit` with ``obs=True``), every point
+#: runs with the telemetry ticker on (``{"period": s, "snapshots":
+#: {}}``) and each point's Prometheus snapshot is stashed under the
+#: same deterministic name vocabulary as the trace summaries.
+_OBS: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -77,6 +86,11 @@ def _run_points(points: List[Tuple[Any, ExperimentConfig]],
                                 trace_sample=trace["sample"],
                                 trace_exemplars=trace["exemplars"]))
                   for key, config in points]
+    obs = _OBS
+    if obs is not None:
+        points = [(key, replace(config, obs=True,
+                                obs_period=obs["period"]))
+                  for key, config in points]
     runner = _BATCH_RUNNER
     if runner is not None:
         results = runner([config for _key, config in points])
@@ -91,6 +105,13 @@ def _run_points(points: List[Tuple[Any, ExperimentConfig]],
             if result.trace_summary is not None:
                 name = f"{config.label}#{len(summaries):03d} ({key})"
                 summaries[name] = result.trace_summary
+                trace["flames"][name] = result.flame
+                trace["phases"][name] = result.phases
+    if obs is not None:
+        snapshots = obs["snapshots"]
+        for (key, config), (_key, result) in zip(points, pairs):
+            name = f"{config.label}#{len(snapshots):03d} ({key})"
+            snapshots[name] = prometheus_snapshot(result, label=name)
     return pairs
 
 
@@ -935,7 +956,9 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
                 jobs: Optional[int] = 1,
                 transport: Optional[str] = None,
                 trace: bool = False, trace_sample: float = 0.01,
-                trace_exemplars: int = 3) -> ExhibitResult:
+                trace_exemplars: int = 3,
+                obs: bool = False,
+                obs_period: float = DEFAULT_OBS_PERIOD) -> ExhibitResult:
     """Run one exhibit by name (``fig04`` ... ``tab3``).
 
     ``jobs`` is forwarded to the parallel runner: 1 = serial (default),
@@ -946,21 +969,32 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
 
     ``trace=True`` runs every point with span tracing at
     ``trace_sample`` probability: the exhibit's measured numbers are
-    unchanged (tracing is observation-only), a critical-path breakdown
-    table is appended to the text, and the per-point summaries land in
-    ``result.data["trace_summaries"]`` (feed them to
-    :func:`repro.trace.write_chrome_trace` for a timeline).
+    unchanged (tracing is observation-only), critical-path breakdown
+    and flame tables are appended to the text, and the per-point
+    summaries / flame aggregations / phase windows land in
+    ``result.data["trace_summaries"]`` / ``["flames"]`` /
+    ``["trace_phases"]`` (feed them to
+    :func:`repro.trace.write_chrome_trace` /
+    :func:`repro.trace.write_flame` for timelines and flame graphs).
+
+    ``obs=True`` runs every point with the telemetry ticker sampling
+    gauges each ``obs_period`` simulated seconds (also
+    observation-only); per-point Prometheus snapshots land in
+    ``result.data["prometheus"]``.
     """
-    global _TRANSPORT, _TRACE
+    global _TRANSPORT, _TRACE, _OBS
     if name not in EXHIBITS:
         raise KeyError(f"unknown exhibit {name!r}; choose from "
                        f"{sorted(EXHIBITS)}")
     previous = _TRANSPORT
     previous_trace = _TRACE
+    previous_obs = _OBS
     _TRANSPORT = transport
     if trace:
         _TRACE = {"sample": trace_sample, "exemplars": trace_exemplars,
-                  "summaries": {}}
+                  "summaries": {}, "flames": {}, "phases": {}}
+    if obs:
+        _OBS = {"period": obs_period, "snapshots": {}}
     try:
         result = EXHIBITS[name](quick=quick, seed=seed, jobs=jobs)
         if trace and _TRACE["summaries"]:
@@ -969,10 +1003,20 @@ def run_exhibit(name: str, quick: bool = True, seed: int = 42,
                 f"{name}: critical-path breakdown (mean per request, "
                 f"{100 * trace_sample:g}% sampled)",
                 _TRACE["summaries"])
+        if trace and _TRACE["flames"]:
+            result.data.setdefault("flames", _TRACE["flames"])
+            result.data.setdefault("trace_phases", _TRACE["phases"])
+            result.text += "\n\n" + render_flame(
+                f"{name}: heaviest flame paths (self time, "
+                f"{100 * trace_sample:g}% sampled)",
+                _TRACE["flames"])
+        if obs and _OBS["snapshots"]:
+            result.data.setdefault("prometheus", _OBS["snapshots"])
         return result
     finally:
         _TRANSPORT = previous
         _TRACE = previous_trace
+        _OBS = previous_obs
 
 
 #: Rough relative wall-clock cost of each exhibit (quick mode).  Used
@@ -991,7 +1035,10 @@ def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
                  jobs: Optional[int] = 1,
                  transport: Optional[str] = None,
                  trace: bool = False, trace_sample: float = 0.01,
-                 trace_exemplars: int = 3) -> Dict[str, ExhibitResult]:
+                 trace_exemplars: int = 3,
+                 obs: bool = False,
+                 obs_period: float = DEFAULT_OBS_PERIOD
+                 ) -> Dict[str, ExhibitResult]:
     """Run several exhibits, interleaving their points over one pool.
 
     With ``jobs > 1`` (or 0/None = per-CPU) every exhibit runs on its
@@ -1011,15 +1058,16 @@ def run_exhibits(names: Iterable[str], quick: bool = True, seed: int = 42,
         if name not in EXHIBITS:
             raise ValueError(f"unknown exhibit {name!r}; choose from "
                              f"{sorted(EXHIBITS)}")
-    if trace or resolve_jobs(jobs) <= 1 or len(names) <= 1:
-        # Traced runs stay serial per exhibit: the summary-collection
-        # global is per-exhibit state that must not interleave across
-        # submitter threads (each exhibit still fans its own points
-        # over ``jobs`` workers).
+    if trace or obs or resolve_jobs(jobs) <= 1 or len(names) <= 1:
+        # Traced/observed runs stay serial per exhibit: the
+        # summary/snapshot-collection globals are per-exhibit state
+        # that must not interleave across submitter threads (each
+        # exhibit still fans its own points over ``jobs`` workers).
         return {name: run_exhibit(name, quick=quick, seed=seed, jobs=jobs,
                                   transport=transport, trace=trace,
                                   trace_sample=trace_sample,
-                                  trace_exemplars=trace_exemplars)
+                                  trace_exemplars=trace_exemplars,
+                                  obs=obs, obs_period=obs_period)
                 for name in names}
     results: Dict[str, ExhibitResult] = {}
     errors: Dict[str, BaseException] = {}

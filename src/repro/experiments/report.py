@@ -12,7 +12,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["render_table", "render_series", "render_breakdown",
-           "render_hedge_delays", "fmt", "normalize"]
+           "render_hedge_delays", "render_flame", "fmt", "normalize"]
 
 
 def fmt(value, width: int = 10, digits: int = 2) -> str:
@@ -130,6 +130,45 @@ def render_hedge_delays(title: str,
         rows.append([label, len(values), round(1e3 * values[0], 3),
                      round(1e3 * med, 3), round(1e3 * values[-1], 3),
                      per_shard])
+    return render_table(title, headers, rows)
+
+
+def render_flame(title: str, flames: Dict[str, Optional[dict]],
+                 top: int = 12) -> str:
+    """Top-*top* flame paths table from :func:`repro.trace.build_flame`
+    documents.
+
+    *flames* maps a row label to one flame document (None entries are
+    skipped).  Every (label, class, phase, path) leaf with positive
+    self weight becomes a candidate row; the table keeps the *top*
+    heaviest by total self milliseconds (ties break on the row key, so
+    the rendering is deterministic).
+    """
+    headers = ["label", "class", "phase", "path", "n",
+               "self [ms]", "mean [us]"]
+    candidates = []
+    for label in sorted(flames):
+        flame = flames[label]
+        if flame is None:
+            continue
+        frames = flame["frames"]
+        for klass in sorted(flame["tables"]):
+            for phase in sorted(flame["tables"][klass]):
+                table = flame["tables"][klass][phase]
+                for path, count, self_w in zip(
+                        table["paths"], table["count"], table["self"]):
+                    if self_w <= 0.0:
+                        continue
+                    name = ";".join(frames[i] for i in path)
+                    candidates.append(
+                        (-self_w, label, klass, phase, name, count))
+    candidates.sort()
+    rows = []
+    for neg_self, label, klass, phase, name, count in candidates[:top]:
+        self_w = -neg_self
+        rows.append([label, klass, phase, name, int(count),
+                     round(1e3 * self_w, 3),
+                     round(1e6 * self_w / count, 2) if count else 0.0])
     return render_table(title, headers, rows)
 
 

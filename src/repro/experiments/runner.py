@@ -22,11 +22,12 @@ from ..drivers.netty_backend import NettyBackendServer
 from ..drivers.threadbased import ThreadBasedServer
 from ..drivers.type1 import Type1AsyncServer
 from ..faults import FaultSchedule, ResiliencePolicy
+from ..obs import TelemetryTicker
 from ..sim.kernel import Simulator
 from ..sim.metrics import Metrics
 from ..sim.params import CostParams
 from ..sim.rng import RngStreams
-from ..trace import Tracer, build_summary
+from ..trace import FlameAccumulator, Tracer, build_flame, build_summary
 from ..workload.closed_loop import ClosedLoopWorkload
 from ..workload.open_loop import PoissonWorkload
 from ..workload.profiles import lfan_sfan_profile, uniform_profile
@@ -93,6 +94,29 @@ def _build_profile(config: ExperimentConfig):
     return uniform_profile(config.fanout, config.response_size)
 
 
+def _phase_hook(sim: Simulator, config: ExperimentConfig, faults):
+    """Phase label for a request starting at time *t*.
+
+    Base phase is ``warmup`` or ``measure``; every fault family active
+    at *t* appends a ``+<family>`` suffix (e.g. ``measure+slow``), so
+    the flame aggregation separates healthy from degraded behaviour.
+    The hook runs at trace *finish* time, which is never earlier than
+    the request's start, so advancing the fault tracks to ``sim.now``
+    always realizes the windows the query may have overlapped.
+    """
+    warmup = config.warmup
+
+    def phase_of(t: float) -> str:
+        phase = "warmup" if t < warmup else "measure"
+        if faults is not None:
+            faults.advance(sim.now)
+            for family in faults.families_at(t):
+                phase += "+" + family
+        return phase
+
+    return phase_of
+
+
 def _thread_sampler(sim: Simulator, cpu, metrics: Metrics, period: float):
     series = metrics.timeseries("cpu.runnable")
     while True:
@@ -117,6 +141,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sim.tracer = Tracer(rng.stream("trace.sample"),
                             sample_rate=config.trace_sample,
                             keep_exemplars=config.trace_exemplars)
+        sim.tracer.flame = FlameAccumulator()
+        sim.tracer.phase_of = _phase_hook(sim, config, faults)
     cluster = DatastoreCluster(
         sim, metrics, params, rng, n_shards=config.n_shards,
         large_shards=config.large_shards,
@@ -147,6 +173,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sim.process(_thread_sampler(sim, server.cpu, metrics,
                                     config.thread_sample_period),
                     name="thread-sampler")
+    ticker = None
+    if config.obs:
+        # Observation-only: the ticker's events shift every later
+        # event's sequence number uniformly, which preserves the
+        # relative dispatch order of all simulation events — measured
+        # results stay float-identical (asserted by tests).
+        ticker = TelemetryTicker(sim, metrics, server,
+                                 period=config.obs_period)
+        ticker.start()
 
     # Warm-up, then the measurement window.
     sim.run(until=config.warmup)
@@ -159,11 +194,21 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim.run(until=config.warmup + config.duration)
     load_end = server.cpu.load_snapshot()
 
-    return _collect(config, sim, metrics, server, load_end - load_start)
+    phases = []
+    if config.trace or config.obs:
+        end = config.warmup + config.duration
+        phases.append(("warmup", 0.0, config.warmup))
+        phases.append(("measure", config.warmup, end))
+        if faults is not None:
+            phases.extend(faults.realized_windows(end))
+
+    return _collect(config, sim, metrics, server, load_end - load_start,
+                    ticker=ticker, phases=phases)
 
 
 def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
-             server, load_integral: float) -> ExperimentResult:
+             server, load_integral: float, ticker=None,
+             phases=()) -> ExperimentResult:
     now = sim.now
     window = config.duration
     rt = metrics.latency("client.rt")
@@ -225,4 +270,12 @@ def _collect(config: ExperimentConfig, sim: Simulator, metrics: Metrics,
                        if sim.tracer is not None else None),
         hedge_delays=(server.resilience.learned_delays()
                       if server.resilience is not None else {}),
+        obs_names=ticker.board.names if ticker is not None else (),
+        obs_times=ticker.board.times if ticker is not None else array("d"),
+        obs_values=(list(ticker.board.columns())
+                    if ticker is not None else []),
+        phases=list(phases),
+        flame=(build_flame(sim.tracer.flame)
+               if sim.tracer is not None and sim.tracer.flame is not None
+               else None),
     )

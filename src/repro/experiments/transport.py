@@ -44,7 +44,8 @@ from array import array
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..trace import summary_columns, summary_from_columns
+from ..trace import (flame_columns, flame_from_columns, summary_columns,
+                     summary_from_columns)
 from .config import ExperimentResult
 
 __all__ = ["encode_result", "decode_result", "ShmRing", "RingSpec",
@@ -98,6 +99,22 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
         trace_structure, trace_floats = summary_columns(result.trace_summary)
         n_trace = len(trace_floats)
         columns.extend(trace_floats)
+    obs_names = result.obs_names
+    n_obs = len(result.obs_times)
+    if obs_names:
+        # Telemetry: the shared time column then each gauge column,
+        # n_obs cells apiece.
+        columns.extend(result.obs_times)
+        for column in result.obs_values:
+            columns.extend(column)
+    flame_structure = None
+    n_flame = 0
+    if result.flame is not None:
+        # Same split as the trace summary: path/table structure in the
+        # header, count/self/total weights as floats.
+        flame_structure, flame_floats = flame_columns(result.flame)
+        n_flame = len(flame_floats)
+        columns.extend(flame_floats)
     header = {
         "config": result.config,
         "qs": qs,
@@ -110,6 +127,13 @@ def encode_result(result: ExperimentResult) -> Tuple[Dict[str, Any], array]:
         "selector_stats": result.selector_stats,
         "trace": trace_structure,
         "n_trace": n_trace,
+        "obs_names": obs_names,
+        "n_obs": n_obs,
+        "flame": flame_structure,
+        "n_flame": n_flame,
+        # Phases are a handful of (name, start, end) tuples: they ride
+        # the pickled header (pickle is float-exact).
+        "phases": result.phases,
         "n_columns": len(columns),
     }
     return header, columns
@@ -167,6 +191,21 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
     if header.get("trace") is not None:
         trace_summary = summary_from_columns(
             header["trace"], _take(view, pos, header["n_trace"]))
+    pos += header.get("n_trace", 0)
+    obs_names = tuple(header.get("obs_names", ()))
+    n_obs = header.get("n_obs", 0)
+    obs_times, obs_values = array("d"), []
+    if obs_names:
+        obs_times = _take(view, pos, n_obs)
+        pos += n_obs
+        for _ in obs_names:
+            obs_values.append(_take(view, pos, n_obs))
+            pos += n_obs
+    flame = None
+    if header.get("flame") is not None:
+        flame = flame_from_columns(
+            header["flame"], _take(view, pos, header["n_flame"]))
+        pos += header["n_flame"]
     return ExperimentResult(
         config=header["config"],
         percentiles=percentiles,
@@ -180,6 +219,11 @@ def decode_result(header: Dict[str, Any], buffer) -> ExperimentResult:
         fault_counters=fault_counters,
         hedge_delays=hedge_delays,
         trace_summary=trace_summary,
+        obs_names=obs_names,
+        obs_times=obs_times,
+        obs_values=obs_values,
+        phases=[tuple(p) for p in header.get("phases", [])],
+        flame=flame,
         **scalars,
     )
 

@@ -27,8 +27,9 @@ another family's timeline.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..datastore.sharding import rack_of
 from ..sim.rng import RngStreams
@@ -131,7 +132,8 @@ class _WindowTrack:
     O(1) amortised per query.
     """
 
-    __slots__ = ("_rng", "_mean_on", "_mean_off", "_on", "_until")
+    __slots__ = ("_rng", "_mean_on", "_mean_off", "_on", "_until",
+                 "_transitions")
 
     def __init__(self, rng: random.Random, mean_on: float,
                  mean_off: float) -> None:
@@ -142,13 +144,44 @@ class _WindowTrack:
         # Start healthy for a random fraction of a gap, so window phases
         # differ across targeted shards.
         self._until = rng.expovariate(1.0 / mean_off)
+        #: Realised toggle times, appended as the cursor advances past
+        #: them.  Transition *i* flips the state for the (i+1)-th time
+        #: (initial state is off), so parity answers past-time queries
+        #: without re-drawing anything — the observability layer reads
+        #: these to reconstruct fault windows after the fact.
+        self._transitions: List[float] = []
 
     def active(self, now: float) -> bool:
         while now >= self._until:
+            self._transitions.append(self._until)
             self._on = not self._on
             mean = self._mean_on if self._on else self._mean_off
             self._until += self._rng.expovariate(1.0 / mean)
         return self._on
+
+    def state_at(self, t: float) -> bool:
+        """State at a *past* time ``t`` (must satisfy ``t < horizon``,
+        i.e. :meth:`active` was already queried at or beyond *t*): the
+        parity of realised transitions up to *t*."""
+        return bisect_right(self._transitions, t) % 2 == 1
+
+    def windows(self, end: float) -> List[tuple]:
+        """Realised on-windows, clamped to ``[0, end]``.
+
+        Pairs consecutive transitions (off→on, on→off); a window still
+        open at the horizon closes at *end*.  Call :meth:`active`
+        (or :meth:`FaultSchedule.advance`) at *end* first so the
+        timeline is realised that far.
+        """
+        transitions = self._transitions
+        windows = []
+        for i in range(0, len(transitions), 2):
+            start = transitions[i]
+            if start >= end:
+                break
+            close = transitions[i + 1] if i + 1 < len(transitions) else end
+            windows.append((start, min(close, end)))
+        return windows
 
 
 class FaultSchedule:
@@ -245,3 +278,53 @@ class FaultSchedule:
         """Decide (one Bernoulli draw) whether to lose this message."""
         return (self._loss_rng is not None
                 and self._loss_rng.random() < self.config.loss_prob)
+
+    # -- observability hooks ------------------------------------------------
+
+    def _window_tracks(self):
+        """(family, tag, track) triples for every windowed timeline."""
+        for shard_id, track in self._slow.items():
+            yield "slow", f"shard{shard_id}", track
+        for shard_id, track in self._crash.items():
+            yield "crash", f"shard{shard_id}", track
+        for rack_id, track in self._rack.items():
+            yield "rack", f"rack{rack_id}", track
+        if self._spike is not None:
+            yield "spike", "net", self._spike
+
+    def advance(self, now: float) -> None:
+        """Realise every windowed timeline up to *now*.
+
+        Purely observational: each track draws interval lengths from
+        its own private named stream, so advancing a timeline early
+        never changes what any later ``active(now)`` query (or any
+        other stream) returns.  Called by the tracing/telemetry layer
+        before :meth:`families_at` / :meth:`realized_windows`.
+        """
+        for _family, _tag, track in self._window_tracks():
+            track.active(now)
+
+    def families_at(self, t: float) -> Tuple[str, ...]:
+        """Fault families with a window active at past time *t*
+        (``crash``/``rack``/``slow``/``spike``, sorted).  Call
+        :meth:`advance` to at least *t* first."""
+        families = []
+        for family in ("crash", "rack", "slow", "spike"):
+            for fam, _tag, track in self._window_tracks():
+                if fam == family and track.state_at(t):
+                    families.append(family)
+                    break
+        return tuple(families)
+
+    def realized_windows(self, end: float
+                         ) -> List[Tuple[str, float, float]]:
+        """Every realised fault window as ``(name, start, close)``,
+        clamped to ``[0, end]`` — e.g. ``("fault:slow:shard3", ...)``.
+        Calls :meth:`advance` itself, so the timelines are realised
+        through *end* on return."""
+        self.advance(end)
+        windows = []
+        for family, tag, track in self._window_tracks():
+            for start, close in track.windows(end):
+                windows.append((f"fault:{family}:{tag}", start, close))
+        return windows

@@ -1,0 +1,147 @@
+"""Prometheus text-exposition snapshot of a finished run.
+
+A simulated run has no live scrape endpoint, so the exporter renders
+the run's *end state* — throughput, latency quantiles, CPU, counters,
+the last sampled value of every telemetry gauge, and phase durations —
+as one ``# HELP``/``# TYPE``-annotated text block, the format every
+Prometheus-compatible stack ingests.  The snapshot is a pure function
+of the result (and hence of the seed), so it is safe to diff across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["prometheus_snapshot", "render_prometheus", "write_prometheus"]
+
+_PREFIX = "repro"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+class _Families:
+    """Accumulates samples grouped into metric families."""
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._families: Dict[str, Tuple[str, str, List[str]]] = {}
+
+    def add(self, name: str, kind: str, help_text: str, value: float,
+            labels: List[Tuple[str, str]]) -> None:
+        full = f"{_PREFIX}_{name}"
+        if full not in self._families:
+            self._order.append(full)
+            self._families[full] = (kind, help_text, [])
+        self._families[full][2].append(
+            f"{full}{_labels(labels)} {_fmt(value)}")
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for full in self._order:
+            kind, help_text, samples = self._families[full]
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n"
+
+
+def prometheus_snapshot(result, label: str = "") -> str:
+    """Render one :class:`ExperimentResult` as Prometheus text.
+
+    ``label`` (e.g. the exhibit name) is attached to every sample as
+    the ``run`` label alongside the config's own label.
+    """
+    base: List[Tuple[str, str]] = [("config", result.config.label)]
+    if label:
+        base.insert(0, ("run", label))
+    fam = _Families()
+    fam.add("throughput_rps", "gauge",
+            "Completed requests per second over the measurement window.",
+            result.throughput, base)
+    fam.add("completed_requests_total", "counter",
+            "Requests completed in the measurement window.",
+            result.completed, base)
+    fam.add("window_seconds", "gauge",
+            "Measurement window length [simulated s].",
+            result.window, base)
+    fam.add("response_time_seconds", "summary",
+            "Client response-time quantiles over the window.",
+            result.mean_rt, base + [("quantile", "mean")])
+    for q in sorted(result.percentiles):
+        fam.add("response_time_seconds", "summary",
+                "Client response-time quantiles over the window.",
+                result.percentiles[q],
+                base + [("quantile", _fmt(q / 100.0))])
+    for klass in sorted(result.class_percentiles):
+        for q in sorted(result.class_percentiles[klass]):
+            fam.add("class_response_time_seconds", "summary",
+                    "Per-request-class response-time quantiles.",
+                    result.class_percentiles[klass][q],
+                    base + [("request_class", klass),
+                            ("quantile", _fmt(q / 100.0))])
+    fam.add("cpu_utilization_ratio", "gauge",
+            "App-server CPU utilisation over the window (0..1).",
+            result.cpu_utilization, base)
+    for share in sorted(result.cpu_shares):
+        fam.add("cpu_share_ratio", "gauge",
+                "Share of busy CPU per cost category.",
+                result.cpu_shares[share], base + [("category", share)])
+    fam.add("ctx_switches_per_second", "gauge",
+            "Context switches per second on the app CPU.",
+            result.ctx_switches_per_sec, base)
+    fam.add("selects_per_second", "gauge",
+            "select() calls per second across all selectors.",
+            result.selects_per_sec, base)
+    for name in sorted(result.fault_counters):
+        fam.add("fault_events_total", "counter",
+                "Fault and resilience counters over the window.",
+                result.fault_counters[name], base + [("event", name)])
+    for shard in sorted(result.hedge_delays):
+        fam.add("hedge_delay_seconds", "gauge",
+                "Learned per-shard hedge delay.",
+                result.hedge_delays[shard],
+                base + [("shard", str(shard))])
+    if result.obs_names and len(result.obs_times):
+        fam.add("telemetry_samples_total", "counter",
+                "Telemetry ticker samples taken over the run.",
+                float(len(result.obs_times)), base)
+        for name, column in zip(result.obs_names, result.obs_values):
+            fam.add("telemetry_gauge", "gauge",
+                    "Last sampled value of each telemetry gauge.",
+                    column[-1] if len(column) else 0.0,
+                    base + [("gauge", name)])
+    for name, start, end in result.phases:
+        fam.add("phase_seconds", "gauge",
+                "Workload phase durations (warmup, measure, faults).",
+                end - start, base + [("phase", name)])
+    return fam.render()
+
+
+def render_prometheus(snapshots: Dict[str, str]) -> str:
+    """Concatenate per-run snapshots (sorted by key) into one page."""
+    return "".join(snapshots[key] for key in sorted(snapshots))
+
+
+def write_prometheus(path: str, snapshots: Dict[str, Any]) -> None:
+    """Write snapshots to ``path``, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(snapshots))

@@ -547,6 +547,30 @@ class Simulator:
         else:
             self._push_slow(when, vb, (when, seq, fn, arg))
 
+    def call_every(self, period: float, fn: Callable[[float], None]) -> None:
+        """Invoke ``fn(now)`` every *period* simulated seconds, starting
+        at ``now + period`` — the telemetry-ticker primitive.
+
+        Built on :meth:`call_at` with absolute tick times, so tick *k*
+        fires at exactly ``start + k * accumulated-period`` floats and
+        the schedule is a pure function of the start time.  One bare
+        callback tuple per tick, no Event allocation, no cancellation
+        handle: the chain simply stops dispatching when the run ends.
+        Observation-only callbacks (no RNG draws, no state mutation)
+        keep measured results float-identical — extra queue entries
+        shift sequence numbers uniformly, never the relative order of
+        any two other events.
+        """
+        if period <= 0.0 or not math.isfinite(period):
+            raise ValueError(f"call_every period must be positive, "
+                             f"got {period}")
+
+        def tick(when: float) -> None:
+            fn(when)
+            self.call_at(when + period, tick, when + period)
+
+        self.call_at(self.now + period, tick, self.now + period)
+
     def _schedule(self, delay: float, event: Event) -> None:
         self._seq = seq = self._seq + 1
         t = self.now + delay

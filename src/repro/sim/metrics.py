@@ -368,6 +368,56 @@ class TimeSeries:
         return sum(v for (_t, v) in pairs) / len(pairs)
 
 
+class GaugeBoard:
+    """Columnar multi-gauge store: many gauges sampled at the same
+    ticks share one time column.
+
+    Where :class:`TimeSeries` pairs one time column with one value
+    column, the telemetry ticker samples tens of gauges at every tick —
+    a shared time column plus one ``array('d')`` value column per gauge
+    keeps that O(gauges) floats per tick with no per-sample boxing, and
+    the columns ride the shared-memory result transport as-is.
+    """
+
+    __slots__ = ("names", "_times", "_columns")
+
+    def __init__(self, names) -> None:
+        self.names: Tuple[str, ...] = tuple(names)
+        self._times = array("d")
+        self._columns = tuple(array("d") for _ in self.names)
+
+    def append(self, now: float, values) -> None:
+        """Record one tick: *values* aligned with :attr:`names`."""
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"expected {len(self._columns)} gauge values, "
+                f"got {len(values)}")
+        if self._times and now < self._times[-1]:
+            raise ValueError("gauge board must be appended in time order")
+        self._times.append(now)
+        for column, value in zip(self._columns, values):
+            column.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> array:
+        return self._times
+
+    def column(self, name: str) -> array:
+        """The value column for gauge *name*."""
+        return self._columns[self.names.index(name)]
+
+    def columns(self) -> Tuple[array, ...]:
+        """All value columns, aligned with :attr:`names`."""
+        return self._columns
+
+    def as_dict(self) -> Dict[str, array]:
+        """name → value-column view (columns shared, not copied)."""
+        return dict(zip(self.names, self._columns))
+
+
 class Counter:
     """An interned counter handle: one float cell bound to a name.
 

@@ -23,6 +23,11 @@ transport.
 from .critical_path import (CATEGORIES, additivity_residual, attribute)
 from .export import (build_summary, chrome_trace, summary_columns,
                      summary_from_columns, write_chrome_trace)
+from .flame import (FRAME_NAMES, F_SUBQUERY, FlameAccumulator, build_flame,
+                    collapsed_stacks, flame_columns, flame_from_columns,
+                    merge_flames, speedscope_doc, write_flame)
+from .schema import (SchemaError, check_chrome_trace, check_collapsed,
+                     check_path, check_prometheus, check_speedscope)
 from .spans import (FLAG_DROPPED, FLAG_SYNTHESIZED, KIND_NAMES, K_ASSEMBLE,
                     K_FAILED, K_HANDOFF, K_HEDGE, K_INBOX_WAIT,
                     K_NET_REQUEST, K_NET_RESPONSE, K_PARSE, K_PROCESS,
@@ -38,4 +43,9 @@ __all__ = [
     "CATEGORIES", "attribute", "additivity_residual",
     "build_summary", "chrome_trace", "write_chrome_trace",
     "summary_columns", "summary_from_columns",
+    "FlameAccumulator", "FRAME_NAMES", "F_SUBQUERY", "build_flame",
+    "merge_flames", "collapsed_stacks", "speedscope_doc",
+    "flame_columns", "flame_from_columns", "write_flame",
+    "SchemaError", "check_chrome_trace", "check_collapsed",
+    "check_speedscope", "check_prometheus", "check_path",
 ]

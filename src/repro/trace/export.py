@@ -18,7 +18,8 @@ inverse (``decode(encode(s)) == s``).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Tuple
+import os
+from typing import Any, Dict, List, Optional, Tuple
 
 from .critical_path import CATEGORIES
 from .spans import Tracer
@@ -154,7 +155,9 @@ def summary_from_columns(structure: Dict[str, Any],
 # Chrome trace_event JSON
 # ---------------------------------------------------------------------------
 
-def chrome_trace(summaries: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+def chrome_trace(summaries: Dict[str, Dict[str, Any]],
+                 phases: Optional[Dict[str, List[Any]]] = None
+                 ) -> Dict[str, Any]:
     """Render exemplar traces as a Chrome ``trace_event`` object.
 
     *summaries* maps a label (exhibit point key) to a trace summary.
@@ -162,10 +165,41 @@ def chrome_trace(summaries: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
     it one ``tid``; spans become ``ph: "X"`` complete events with
     micro-second ``ts``/``dur``.  Point events (retry/hedge/failed)
     are emitted as instant events (``ph: "i"``).
+
+    *phases* optionally maps the same labels to workload-phase windows
+    ``[(name, start, end), ...]`` (warmup / measurement window / fault
+    windows, see ``ExperimentResult.phases``).  Each label's phases
+    become one extra ``pid`` whose track holds a ``phase:<name>``
+    complete event per window plus a globally-scoped instant
+    (``"s": "g"``) at the window start, so phase boundaries draw as
+    full-height markers across every exemplar track in Perfetto.
     """
     events: List[Dict[str, Any]] = []
+    phases = phases or {}
     pid = 0
-    for label in sorted(summaries):
+    for label in sorted(set(summaries) | set(phases)):
+        windows = phases.get(label)
+        if windows:
+            pid += 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"{label} / phases"}})
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": 1,
+                "args": {"name": "workload phases"}})
+            for phase_name, start, end in windows:
+                args = {"phase": phase_name, "start_ms": 1e3 * start,
+                        "end_ms": 1e3 * end}
+                if end > start:
+                    events.append({
+                        "name": f"phase:{phase_name}", "ph": "X",
+                        "pid": pid, "tid": 1, "ts": 1e6 * start,
+                        "dur": 1e6 * (end - start), "args": args})
+                events.append({
+                    "name": f"phase:{phase_name}", "ph": "i", "pid": pid,
+                    "tid": 1, "ts": 1e6 * start, "s": "g", "args": args})
+        if label not in summaries:
+            continue
         summary = summaries[label]
         kinds = summary["kinds"]
         for klass in sorted(summary["classes"]):
@@ -204,8 +238,14 @@ def chrome_trace(summaries: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
 
 
 def write_chrome_trace(path: str,
-                       summaries: Dict[str, Dict[str, Any]]) -> None:
-    """Write :func:`chrome_trace` output as JSON to *path*."""
+                       summaries: Dict[str, Dict[str, Any]],
+                       phases: Optional[Dict[str, List[Any]]] = None
+                       ) -> None:
+    """Write :func:`chrome_trace` output as JSON to *path*, creating
+    missing parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace(summaries), handle, indent=1)
+        json.dump(chrome_trace(summaries, phases=phases), handle, indent=1)
         handle.write("\n")

@@ -171,6 +171,15 @@ class Tracer:
         self._next_request_id = 0
         self._finish_seq = 0
         self._classes: Dict[str, _ClassAgg] = {}
+        #: Optional :class:`repro.trace.flame.FlameAccumulator`: when
+        #: set, ``finish`` folds every sampled trace's span tree into
+        #: the cross-request flame tables (the tracer itself only keeps
+        #: top-K exemplars, so the fold must stream here).
+        self.flame = None
+        #: Optional ``start_time -> phase name`` hook (set by the
+        #: runner): labels each folded trace with the workload phase
+        #: (warmup/measure + active fault families) it started in.
+        self.phase_of = None
 
     # -- interning --------------------------------------------------------
 
@@ -217,11 +226,17 @@ class Tracer:
         self._finish_seq += 1
         if len(agg.heap) > self.keep_exemplars:
             heapq.heappop(agg.heap)
+        if self.flame is not None:
+            phase = (self.phase_of(trace.start)
+                     if self.phase_of is not None else "run")
+            self.flame.fold(trace, phase)
 
     def reset(self, now: float) -> None:
         """Drop warm-up aggregates at the measurement-window start
         (mirrors ``Metrics.mark_window_start``).  In-flight stamps are
-        kept: requests spanning the boundary keep tracing."""
+        kept: requests spanning the boundary keep tracing.  The flame
+        accumulator is *not* cleared — warm-up requests stay in the
+        flame under their own ``warmup`` phase label."""
         self.window_start = now
         self.sampled = 0
         self._classes.clear()

@@ -69,6 +69,72 @@ class TestParser:
         assert main(["--exhibit", "tab2", "--trace-out", "/tmp/t"]) == 2
 
 
+class TestObservabilityFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.flame_out is None
+        assert not args.obs
+        assert args.obs_period == 0.01
+        assert args.prom_out is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "--flame-out", "/tmp/f.collapsed", "--obs",
+             "--obs-period", "0.02", "--prom-out", "/tmp/p.txt"])
+        assert args.flame_out == "/tmp/f.collapsed"
+        assert args.obs
+        assert args.obs_period == 0.02
+        assert args.prom_out == "/tmp/p.txt"
+
+    def test_flame_out_requires_trace(self, capsys):
+        assert main(["--exhibit", "tab2",
+                     "--flame-out", "/tmp/f"]) == 2
+
+    def test_prom_out_requires_obs(self, capsys):
+        assert main(["--exhibit", "tab2", "--prom-out", "/tmp/p"]) == 2
+
+    def test_bad_obs_period_exit_code(self, capsys):
+        assert main(["--exhibit", "tab2", "--obs",
+                     "--obs-period", "0"]) == 2
+        assert main(["--exhibit", "tab2", "--obs",
+                     "--obs-period", "-0.5"]) == 2
+
+    def test_artifacts_written_with_parent_dirs(self, tmp_path, capsys):
+        """End to end: one observed exhibit, all three exporters, every
+        output under a directory that does not exist yet — and each
+        artifact passes its own schema validator."""
+        from repro.trace.schema import check_path
+        trace = tmp_path / "a" / "trace.json"
+        flame = tmp_path / "b" / "flame.collapsed"
+        prom = tmp_path / "c" / "prom.txt"
+        code = main(["--exhibit", "tab3", "--trace",
+                     "--trace-sample", "0.5",
+                     "--trace-out", str(trace),
+                     "--flame-out", str(flame),
+                     "--obs", "--prom-out", str(prom)])
+        assert code == 0
+        for path in (trace, flame, prom):
+            assert path.is_file()
+            check_path(str(path))
+        out = capsys.readouterr().out
+        assert "phase track" in out
+
+    def test_unwritable_output_exits_1(self, tmp_path, capsys):
+        """A plain file as a parent path component fails with a
+        one-line error and exit code 1 (chmod tricks are useless when
+        the suite runs as root, so use NotADirectoryError instead)."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        bad = blocker / "sub" / "trace.json"
+        code = main(["--exhibit", "tab3", "--trace",
+                     "--trace-sample", "0.5",
+                     "--trace-out", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert f"cannot write {bad}" in err
+
+
 class TestExhibitRun:
     def test_tab3_end_to_end(self, capsys):
         """tab3 is a representative fast exhibit: run it and check both

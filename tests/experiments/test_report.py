@@ -1,10 +1,13 @@
 """Tests for the text-report rendering helpers."""
 
 import math
+import random
 
 import pytest
 
-from repro.experiments.report import fmt, normalize, render_series, render_table
+from repro.experiments.report import (fmt, normalize, render_breakdown,
+                                      render_flame, render_hedge_delays,
+                                      render_series, render_table)
 
 
 class TestFmt:
@@ -47,6 +50,126 @@ class TestRenderSeries:
     def test_short_series_padded_with_nan(self):
         text = render_series("S", "x", [1, 2], {"a": [10.0]})
         assert "-" in text.splitlines()[-1]
+
+
+_CATEGORIES = ("network", "service", "cpu_queue", "selector_wait",
+               "retry_hedge", "driver")
+
+
+def _summary(counts=(4.0,), classes=("Lfan",)):
+    """Hand-built trace summary with exactly controlled numbers."""
+    table = {}
+    for klass, count in zip(classes, counts):
+        table[klass] = {
+            "count": count, "rt_sum": 0.01 * count,
+            "breakdown": {"network": 0.002 * count,
+                          "service": 0.005 * count,
+                          "cpu_queue": 0.001 * count,
+                          "selector_wait": 0.0015 * count,
+                          "retry_hedge": 0.0,
+                          "driver": 0.0005 * count}}
+    return {"classes": table}
+
+
+class TestRenderBreakdown:
+    def test_golden_snapshot(self):
+        text = render_breakdown("T", {"run": _summary()})
+        assert text == "\n".join([
+            "T",
+            "=",
+            "  label  class  n  rt [ms]  network [ms]  service [ms]"
+            "  cpu_queue [ms]  selector_wait [ms]  retry_hedge [ms]"
+            "  driver [ms]",
+            "-" * 121,
+            "    run   Lfan  4    10.00          2.00          5.00"
+            "            1.00                1.50             0.000"
+            "        0.500",
+        ])
+
+    def test_skips_none_and_zero_count_classes(self):
+        text = render_breakdown("T", {
+            "missing": None,
+            "run": _summary(counts=(4.0, 0.0), classes=("Lfan", "Sfan"))})
+        assert "Lfan" in text
+        assert "Sfan" not in text
+        assert "missing" not in text
+
+    def test_appends_hedge_delay_table_when_nonempty(self):
+        delays = {"run": {0: 0.002}}
+        text = render_breakdown("T", {"run": _summary()},
+                                hedge_delays=delays)
+        assert "learned per-shard hedge delays" in text
+        plain = render_breakdown("T", {"run": _summary()},
+                                 hedge_delays={"run": {}})
+        assert "hedge delays" not in plain
+
+    def test_from_real_tracer(self):
+        # The hand-built summary shape matches build_summary's output.
+        from repro.trace import K_PARSE, Tracer, build_summary
+        tracer = Tracer(random.Random(5), sample_rate=1.0)
+        trace = tracer.begin("default", now=0.0)
+        trace.add(K_PARSE, 0.0, 0.001)
+        tracer.finish(trace, rt=0.004)
+        text = render_breakdown("T", {"real": build_summary(tracer)})
+        assert "real" in text and "default" in text and "4.00" in text
+
+
+class TestRenderHedgeDelays:
+    def test_golden_snapshot(self):
+        text = render_hedge_delays(
+            "H", {"run": {3: 0.004, 1: 0.002, 2: 0.0085}})
+        assert text == "\n".join([
+            "H",
+            "=",
+            "  label  shards  min [ms]  med [ms]  max [ms]"
+            "        per-shard [ms]",
+            "-" * 67,
+            "    run       3      2.00      4.00      8.50"
+            "  1:2.00 2:8.50 3:4.00",
+        ])
+
+    def test_shards_sorted_and_empty_labels_skipped(self):
+        text = render_hedge_delays("H", {"empty": {}, "run": {2: 0.001,
+                                                             0: 0.003}})
+        assert "empty" not in text
+        assert text.index("0:3.00") < text.index("2:1.00")
+
+
+class TestRenderFlame:
+    def _flame(self):
+        from repro.trace import (F_SUBQUERY, FRAME_NAMES, K_ROOT,
+                                 K_SERVICE)
+        return {"frames": list(FRAME_NAMES),
+                "tables": {"default": {"measure": {
+                    "paths": [[K_ROOT], [K_ROOT, F_SUBQUERY, K_SERVICE]],
+                    "count": [2.0, 5.0],
+                    "self": [0.0, 0.01],
+                    "total": [0.01, 0.01]}}}}
+
+    def test_golden_snapshot(self):
+        text = render_flame("F", {"run": self._flame()}, top=5)
+        assert text == "\n".join([
+            "F",
+            "=",
+            "  label    class    phase                   path  n"
+            "  self [ms]  mean [us]",
+            "-" * 73,
+            "    run  default  measure  root;subquery;service  5"
+            "      10.00       2000",
+        ])
+
+    def test_zero_self_paths_hidden_and_top_k_respected(self):
+        flame = self._flame()
+        text = render_flame("F", {"run": flame}, top=5)
+        assert "root;subquery;service" in text
+        assert ";".join(["root"]) + "  " not in text  # structural row
+        # top=0 keeps the header only.
+        empty = render_flame("F", {"run": flame}, top=0)
+        assert "service" not in empty
+
+    def test_none_flames_skipped(self):
+        text = render_flame("F", {"a": None, "run": self._flame()})
+        assert "run" in text
 
 
 class TestNormalize:

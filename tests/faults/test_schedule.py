@@ -71,6 +71,92 @@ class TestWindowTrack:
             assert coarse.active(t) == fine_states[t]
 
 
+class TestObservabilityHooks:
+    """`state_at` / `windows` / `families_at` / `realized_windows` —
+    the after-the-fact views the tracing layer reads."""
+
+    def _schedule(self, seed=42):
+        config = FaultConfig(slow_shards=2, slow_mean_on=0.2,
+                             slow_mean_off=0.3, crash_shards=1,
+                             crash_mtbf=0.5, crash_mttr=0.2)
+        return FaultSchedule(config, RngStreams(seed), 8)
+
+    def test_state_at_matches_live_active(self):
+        track = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.3)
+        times = [i * 0.013 for i in range(800)]
+        live = [track.active(t) for t in times]
+        # After the cursor passed the horizon, parity over realised
+        # transitions reproduces the live answers exactly.
+        assert [track.state_at(t) for t in times] == live
+
+    def test_windows_pair_transitions_and_clamp(self):
+        track = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.3)
+        track.active(10.0)
+        windows = track.windows(10.0)
+        assert windows, "timeline must toggle over a long horizon"
+        for start, close in windows:
+            assert 0.0 <= start < close <= 10.0
+            mid = (start + close) / 2
+            assert track.state_at(mid)
+        # Disjoint and ordered.
+        for (_, close), (start, _) in zip(windows, windows[1:]):
+            assert close <= start
+            assert not track.state_at((close + start) / 2)
+
+    def test_windows_ignore_transitions_past_end(self):
+        track = _WindowTrack(RngStreams(7).stream("t"), 0.2, 0.3)
+        track.active(10.0)
+        short = track.windows(2.0)
+        assert all(close <= 2.0 for _start, close in short)
+        assert all(start < 2.0 for start, _close in short)
+
+    def test_families_at_sorted_and_consistent(self):
+        sched = self._schedule()
+        sched.advance(10.0)
+        seen = set()
+        for i in range(1000):
+            t = i * 0.01
+            families = sched.families_at(t)
+            assert list(families) == sorted(families)
+            assert set(families) <= {"crash", "slow"}
+            seen.update(families)
+            slow_live = any(sched._slow[s].state_at(t)
+                            for s in sched.slow_ids)
+            assert ("slow" in families) == slow_live
+        assert seen == {"crash", "slow"}
+
+    def test_realized_windows_deterministic_and_named(self):
+        a = self._schedule().realized_windows(5.0)
+        b = self._schedule().realized_windows(5.0)
+        assert a == b
+        assert a, "an active schedule realises at least one window"
+        names = {name for name, _s, _e in a}
+        assert all(name.startswith(("fault:slow:shard",
+                                    "fault:crash:shard"))
+                   for name in names)
+        assert all(0.0 <= s < e <= 5.0 for _n, s, e in a)
+
+    def test_inactive_schedule_realizes_nothing(self):
+        sched = FaultSchedule(FaultConfig(), RngStreams(1), 4)
+        assert sched.realized_windows(5.0) == []
+        assert sched.families_at(1.0) == ()
+
+    def test_advance_does_not_perturb_later_queries(self):
+        """Interleaving telemetry `advance` calls with the serving
+        hooks (all at the monotone simulator clock) must not change
+        what the serving hooks return."""
+        observed = self._schedule()
+        plain = self._schedule()
+        for i in range(500):
+            t = i * 0.02
+            observed.advance(t)  # telemetry tick at the same instant
+            for shard in range(8):
+                assert (observed.service_multiplier(shard, 0, t)
+                        == plain.service_multiplier(shard, 0, t))
+                assert (observed.is_down(shard, 0, t)
+                        == plain.is_down(shard, 0, t))
+
+
 class TestFaultSchedule:
     def _schedule(self, config, seed=42, n_shards=20):
         return FaultSchedule(config, RngStreams(seed), n_shards)

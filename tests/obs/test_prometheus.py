@@ -1,0 +1,75 @@
+"""Unit tests for the Prometheus text-exposition exporter."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs import (prometheus_snapshot, render_prometheus,
+                       write_prometheus)
+from repro.trace.schema import SchemaError, check_prometheus
+
+
+def _result(**kw):
+    return run_experiment(ExperimentConfig(
+        concurrency=4, n_shards=4, fanout=2, warmup=0.1, duration=0.2,
+        seed=13, **kw))
+
+
+class TestSnapshot:
+    def test_valid_and_labelled(self):
+        snapshot = prometheus_snapshot(_result(obs=True), label="runA")
+        check_prometheus(snapshot)
+        assert 'run="runA"' in snapshot
+        assert 'config="doubleface"' in snapshot
+        assert "# TYPE repro_throughput_rps gauge" in snapshot
+        assert "# TYPE repro_response_time_seconds summary" in snapshot
+        assert 'quantile="0.99"' in snapshot
+        assert "repro_telemetry_gauge" in snapshot
+        assert 'phase="measure"' in snapshot
+
+    def test_without_obs_omits_gauge_family(self):
+        snapshot = prometheus_snapshot(_result(), label="runB")
+        check_prometheus(snapshot)
+        assert "repro_telemetry_gauge" not in snapshot
+        # No trace/obs → no phase windows either.
+        assert "repro_phase_seconds" not in snapshot
+
+    def test_values_survive_float_roundtrip(self):
+        result = _result(obs=True)
+        snapshot = prometheus_snapshot(result)
+        for line in snapshot.splitlines():
+            if line.startswith("repro_throughput_rps"):
+                assert float(line.rpartition(" ")[2]) == result.throughput
+                break
+        else:  # pragma: no cover - family is always emitted
+            pytest.fail("no throughput sample found")
+
+    def test_label_escaping(self):
+        result = _result()
+        result.config.label = 'we"ird\\label'
+        snapshot = prometheus_snapshot(result)
+        check_prometheus(snapshot)
+        assert '\\"' in snapshot
+
+    def test_deterministic_across_runs(self):
+        assert (prometheus_snapshot(_result(obs=True), label="x")
+                == prometheus_snapshot(_result(obs=True), label="x"))
+
+
+class TestWrite:
+    def test_render_sorts_keys(self):
+        page = render_prometheus({"b": "# TYPE b gauge\nb 2\n",
+                                  "a": "# TYPE a gauge\na 1\n"})
+        assert page.index("a 1") < page.index("b 2")
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "prom.txt"
+        write_prometheus(str(path), {
+            "run": prometheus_snapshot(_result(obs=True), label="run")})
+        check_prometheus(path.read_text())
+
+    def test_schema_rejects_corruption(self, tmp_path):
+        snapshot = prometheus_snapshot(_result(obs=True))
+        broken = snapshot.replace("# TYPE", "# NOPE")
+        with pytest.raises(SchemaError):
+            check_prometheus(broken)

@@ -37,10 +37,11 @@ def _config(server="doubleface", **kw):
 
 
 def _measured_fields(result):
-    """Everything except the trace summary itself."""
+    """Everything except the observation outputs themselves."""
     fields = dataclasses.asdict(result)
-    fields.pop("trace_summary")
-    fields.pop("config")
+    for observational in ("trace_summary", "config", "flame", "phases",
+                          "obs_names", "obs_times", "obs_values"):
+        fields.pop(observational)
     return fields
 
 
